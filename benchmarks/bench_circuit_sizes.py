@@ -1,0 +1,49 @@
+"""E5 — Circuit size inventory (paper Sec. 4).
+
+The paper reports the sizes of the simulated circuits (553 to ~1800
+LPs).  This benchmark regenerates that inventory for our parameterized
+reconstructions at both abstraction levels, plus the channel counts of
+the bi-partite process/signal graphs.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.circuits import build_dct, build_fsm, build_iir
+
+
+def collect():
+    rows = []
+    for name, builder in [
+        ("FSM behavioral", lambda: build_fsm(level="behavioral",
+                                             cycles=1)),
+        ("FSM gate (0 delay)", lambda: build_fsm(cycles=1)),
+        ("IIR behavioral", lambda: build_iir(level="behavioral",
+                                             samples=(1,),
+                                             extra_cycles=0)),
+        ("IIR gate", lambda: build_iir(samples=(1,), extra_cycles=0)),
+        ("DCT behavioral", lambda: build_dct(level="behavioral",
+                                             extra_cycles=0)),
+        ("DCT gate", lambda: build_dct(extra_cycles=0)),
+    ]:
+        circuit = builder()
+        report = circuit.design.size_report()
+        rows.append([name, report["signals"], report["processes"],
+                     report["lps"], report["channels"]])
+    return rows
+
+
+def test_circuit_sizes(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    table = format_table(
+        ["circuit", "signals", "processes", "LPs", "channels"], rows,
+        title="Circuit sizes (paper Sec. 4: FSM 553, IIR ~1708, "
+              "DCT ~1792 LPs)")
+    emit("circuit_sizes", table)
+
+    sizes = {row[0]: row[3] for row in rows}
+    assert 550 <= sizes["FSM gate (0 delay)"] <= 560  # paper: 553
+    assert 1300 <= sizes["IIR gate"] <= 2000          # paper: ~1708
+    assert 1200 <= sizes["DCT gate"] <= 2000          # paper: ~1792
+    # Behavioral models are 1-2 orders of magnitude smaller.
+    assert sizes["FSM behavioral"] < sizes["FSM gate (0 delay)"] / 4

@@ -1,0 +1,48 @@
+"""E1 / Fig. 6 — Speedup for the FSM (0 delay).
+
+Regenerates the paper's Fig. 6: speedup vs processor count for the
+553-LP zero-delay finite state machine under the four synchronization
+configurations.  The zero-delay next-state logic makes every clock edge
+a cascade of delta cycles — the workload that breaks PDES protocols
+without the paper's (pt, lt) tie-breaking, and the one where dense
+simultaneous events stress the protocols hardest.
+"""
+
+from conftest import PROCESSOR_SWEEP, PROTOCOLS, emit
+
+from repro.analysis import ascii_chart, measure_speedups, speedup_table
+from repro.circuits import build_fsm
+
+CYCLES = 10
+
+
+def build():
+    return build_fsm(cycles=CYCLES).design
+
+
+def run_sweep():
+    return measure_speedups(build, PROTOCOLS, PROCESSOR_SWEEP,
+                            max_steps=50_000_000)
+
+
+def test_fig6_fsm_speedup(benchmark):
+    curves = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = speedup_table(curves, "Fig. 6 — Speedup for FSM (0 Delay), "
+                                  f"{build_fsm(cycles=1).lp_count} LPs")
+    chart = ascii_chart(curves, "Fig. 6 (ASCII rendering)")
+    stats_lines = ["", "protocol stats at max P:"]
+    for protocol, curve in curves.items():
+        outcome = curve.points[-1].outcome
+        stats_lines.append(f"  {protocol:13s} {outcome.stats.summary()}")
+    emit("fig6_fsm_speedup", table + "\n\n" + chart
+         + "\n".join(stats_lines))
+
+    # Shape assertions (the reproduction claims):
+    for protocol in PROTOCOLS:
+        speedups = curves[protocol].speedups()
+        # Meaningful parallel speedup at the paper's processor count.
+        assert speedups[-1] > 2.0, (protocol, speedups)
+    # The dynamic self-adapting configuration tracks the best static one.
+    best_static = max(curves[p].speedups()[-1]
+                      for p in ("optimistic", "conservative", "mixed"))
+    assert curves["dynamic"].speedups()[-1] >= 0.8 * best_static

@@ -1,0 +1,63 @@
+"""A3 ablation — lookahead as an optional accelerator.
+
+The paper's protocol is lookahead-free, but "if the lookahead is
+available, it may be used to improve performance".  This ablation runs
+the conservative configuration with and without the VHDL kernel's
+structural one-phase lookahead (null messages enabled vs disabled) and
+reports the trade: null-message traffic vs global deadlock-recovery
+rounds vs makespan.
+"""
+
+from conftest import PAPER_P, emit
+
+from repro.analysis import format_table
+from repro.circuits import build_fsm, build_iir
+from repro.parallel import run_parallel
+
+SAMPLES = (64, 0, 0, 0, 16, 240, 16, 0)
+
+CIRCUITS = [
+    ("FSM", lambda: build_fsm(cycles=8).design),
+    ("IIR", lambda: build_iir(samples=SAMPLES, extra_cycles=2).design),
+]
+
+
+def run_all():
+    rows = []
+    outcomes = {}
+    for name, build in CIRCUITS:
+        for la_label, lookahead in (("-la", None), ("+la", "vhdl")):
+            model = build().elaborate()
+            outcome = run_parallel(model, processors=PAPER_P,
+                                   protocol="conservative",
+                                   lookahead=lookahead,
+                                   max_steps=100_000_000)
+            stats = outcome.stats
+            rows.append([f"{name} {la_label}",
+                         f"{outcome.makespan:.0f}",
+                         stats.null_messages,
+                         stats.deadlock_recoveries,
+                         stats.gvt_rounds,
+                         stats.blocked_polls])
+            outcomes[(name, la_label)] = outcome
+    return rows, outcomes
+
+
+def test_lookahead_ablation(benchmark):
+    rows, outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        ["config", "makespan", "nulls", "recoveries", "gvt rounds",
+         "blocked polls"],
+        rows,
+        title=f"A3 — Conservative with/without lookahead "
+              f"({PAPER_P} processors)")
+    emit("a3_lookahead", table)
+
+    for name, _build in CIRCUITS:
+        bare = outcomes[(name, "-la")]
+        nulls = outcomes[(name, "+la")]
+        # Null messages only exist when lookahead is on.
+        assert bare.stats.null_messages == 0
+        assert nulls.stats.null_messages > 0
+        # Both commit identical work.
+        assert bare.stats.events_committed == nulls.stats.events_committed

@@ -1,0 +1,58 @@
+"""A4 ablation — the memory cost of optimism (paper Sec. 4 remark).
+
+"Unfortunately, it [the optimistic configuration] demands huge amounts
+of memory, proportional to the number of processors."  This ablation
+measures the peak speculative state (uncommitted event-log entries and
+snapshots) of the optimistic configuration as the processor count
+grows, and the classic counter-measure the kernel implements: interval
+checkpointing (snapshot every k-th event, coast-forward on rollback),
+trading replay time for snapshot memory.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.circuits import build_iir
+from repro.parallel import run_parallel
+
+SAMPLES = (64, 0, 0, 0, 16, 240, 16, 0)
+
+
+def build():
+    return build_iir(samples=SAMPLES, extra_cycles=2).design
+
+
+def run_all():
+    rows = []
+    peaks = {}
+    for processors in (2, 8, 14):
+        for interval in (1, 8):
+            model = build().elaborate()
+            outcome = run_parallel(model, processors=processors,
+                                   protocol="optimistic",
+                                   checkpoint_interval=interval,
+                                   max_steps=100_000_000)
+            stats = outcome.stats
+            rows.append([processors, interval,
+                         stats.peak_speculative, stats.snapshots,
+                         stats.coast_forward_events,
+                         f"{outcome.makespan:.0f}"])
+            peaks[(processors, interval)] = stats
+    return rows, peaks
+
+
+def test_memory_ablation(benchmark):
+    rows, peaks = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(
+        ["P", "ckpt every", "peak speculative", "snapshots",
+         "coast-forward", "makespan"],
+        rows,
+        title="A4 — Memory of optimism vs processors "
+              "(IIR gate, optimistic)")
+    emit("a4_memory", table)
+
+    # The paper's observation: speculative memory grows with P.
+    assert peaks[(14, 1)].peak_speculative > \
+        peaks[(2, 1)].peak_speculative
+    # Interval checkpointing cuts snapshot traffic.
+    assert peaks[(14, 8)].snapshots < peaks[(14, 1)].snapshots

@@ -1,0 +1,86 @@
+"""A2 ablation — what breaks without the (pt, lt) tie-breaking.
+
+The paper's central claim (Sec. 3.3): processing simultaneous events in
+arbitrary order "may modify the semantics of the VHDL simulation,
+leading to incorrect results in cases of delta cycles ... or processes
+with multiple simultaneous input signals updates" — unless the extra
+logical-time field causally orders the phases of the VHDL cycle.
+
+This ablation simulates a kernel WITHOUT the scheme: events are ordered
+by physical time only, ties broken at random.  On a delta-cycle-
+sensitive circuit (out = a xor b with a == b by construction, so ``out``
+must never glitch) the ablated kernel produces wrong results in a large
+fraction of random orderings, while the full (pt, lt) kernel is correct
+under *every* ordering.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.core import NS
+from repro.core.sequential import SequentialSimulator
+from repro.vhdl import CombinationalBody, Design, SL_0, SL_1, Wait
+
+TRIALS = 40
+
+
+def build_glitch_probe():
+    """out = fan1(src) xor fan2(src): must never publish a change."""
+    design = Design("glitch")
+    src = design.signal("src", SL_0)
+    a = design.signal("a", SL_0)
+    b = design.signal("b", SL_0)
+    out = design.signal("out", SL_0, traced=True)
+    design.process("fan1", CombinationalBody([src], [a], lambda v: v))
+    design.process("fan2", CombinationalBody([src], [b], lambda v: v))
+    design.process("xor", CombinationalBody([a, b], [out],
+                                            lambda x, y: x ^ y))
+
+    def stim(api):
+        for step in range(4):
+            yield Wait(for_fs=1 * NS)
+            api.assign(src.lp_id, SL_1 if step % 2 == 0 else SL_0)
+
+    design.stimulus("stim", stim, drives=[src])
+    return design
+
+
+def run_trials():
+    correct_full = 0
+    correct_ablated = 0
+    for trial in range(TRIALS):
+        rng = random.Random(trial)
+        # Full kernel: shuffled order among equal (pt, lt) events.
+        design = build_glitch_probe()
+        sim = SequentialSimulator(design.elaborate(), shuffle_ties=rng)
+        sim.run()
+        if not design["out"].history:
+            correct_full += 1
+        # Ablated kernel: physical-time order only, ties random.
+        rng2 = random.Random(trial)
+        design2 = build_glitch_probe()
+        sim2 = SequentialSimulator(
+            design2.elaborate(),
+            key_fn=lambda e, _r=rng2: (e.time.pt, _r.random()))
+        sim2.run(max_events=100_000)
+        if not design2["out"].history:
+            correct_ablated += 1
+    return correct_full, correct_ablated
+
+
+def test_tiebreak_ablation(benchmark):
+    correct_full, correct_ablated = benchmark.pedantic(
+        run_trials, rounds=1, iterations=1)
+    table = format_table(
+        ["kernel", "correct runs", "trials"],
+        [["with (pt, lt) tie-breaking", correct_full, TRIALS],
+         ["physical time only (ablated)", correct_ablated, TRIALS]],
+        title="A2 — Delta-cycle correctness without the logical clock")
+    emit("a2_tiebreak_ablation", table)
+
+    # The full kernel is correct under EVERY simultaneous-event order.
+    assert correct_full == TRIALS
+    # The ablated kernel glitches in a substantial fraction of orders.
+    assert correct_ablated < TRIALS

@@ -1,0 +1,35 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  Results are printed
+(visible with ``pytest -s``) *and* written to ``benchmarks/results/`` so
+the artifacts survive output capturing.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper platform: the SGI Challenge had (up to) 14 processors; sweeps
+#: use these counts.  Override with REPRO_BENCH_FULL=0 for a quick pass.
+FULL = os.environ.get("REPRO_BENCH_FULL", "1") != "0"
+PROCESSOR_SWEEP = [1, 2, 4, 8, 12, 14] if FULL else [1, 4, 14]
+PAPER_P = 14
+PROTOCOLS = ["optimistic", "conservative", "mixed", "dynamic"]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}", file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

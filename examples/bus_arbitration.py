@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Multi-driver resolved signals: a shared bus with tri-state drivers.
+
+Exercises the part of the VHDL semantics that motivates mapping signals
+to their own LPs (paper Sec. 3.1): a resolved signal with several
+sources, where the signal LP holds one driver per source and applies
+the IEEE 1164 resolution function after *all* simultaneous transactions
+— the Driving-value / Effective-value phase split of the distributed
+VHDL cycle.
+
+Three masters share a bus through 'Z'-driving tri-states; a simple
+round-robin grant decides who drives.  Bus conflicts (two drivers at
+once) resolve to 'X' — which the example also demonstrates.
+
+Run:  python examples/bus_arbitration.py
+"""
+
+from repro.core import NS
+from repro.vhdl import Design, SL_Z, Wait, simulate, sl
+
+
+def main() -> None:
+    design = Design("shared_bus")
+    bus = design.signal("bus", SL_Z, traced=True)
+
+    def master(index, schedule):
+        """Drive `value` during [start, stop), 'Z' otherwise."""
+        def gen(api):
+            now = 0
+            for start, stop, value in schedule:
+                if start > now:
+                    yield Wait(for_fs=start - now)
+                    now = start
+                api.assign(bus.lp_id, sl(value))
+                yield Wait(for_fs=stop - now)
+                now = stop
+                api.assign(bus.lp_id, SL_Z)
+        return gen
+
+    # Masters take turns; masters 1 and 2 collide during 60-70 ns.
+    design.stimulus("m0", master(0, [(10 * NS, 30 * NS, "1")]),
+                    drives=[bus])
+    design.stimulus("m1", master(1, [(40 * NS, 70 * NS, "0")]),
+                    drives=[bus])
+    design.stimulus("m2", master(2, [(60 * NS, 80 * NS, "1")]),
+                    drives=[bus])
+
+    result = simulate(design)
+    print("bus waveform (time ns, value):")
+    for time, value in result.trace("bus"):
+        note = ""
+        if value.char == "X":
+            note = "   <-- drive conflict resolved to 'X'"
+        if value.char == "Z":
+            note = "   (released: bus floats)"
+        print(f"  {time.pt / 1e6:6.0f}  '{value.char}'{note}")
+
+    values = [v.char for _t, v in result.trace("bus")]
+    assert "X" in values, "the 60-70 ns collision must surface as 'X'"
+    print("\nthe signal LP resolved", len(design["bus"].drivers),
+          "drivers per the IEEE 1164 resolution table.")
+
+
+if __name__ == "__main__":
+    main()

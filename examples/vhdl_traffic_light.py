@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Compile and simulate real VHDL source: a traffic-light controller.
+
+Demonstrates the frontend pipeline the paper built for C (here:
+Python): VHDL text -> lexer -> parser -> elaboration into a flattened
+LP graph -> simulation.  The interpreted process state is plain data,
+so the same design also runs under Time Warp on the parallel machine.
+
+Run:  python examples/vhdl_traffic_light.py
+"""
+
+from repro.vhdl import simulate, simulate_parallel, vector_to_str
+from repro.vhdl.frontend import elaborate
+
+SOURCE = """
+entity traffic is
+  port (clk   : in  std_logic;
+        rst   : in  std_logic;
+        lights : out std_logic_vector(2 downto 0));  -- R, Y, G
+end traffic;
+
+architecture fsm of traffic is
+  signal state : std_logic_vector(1 downto 0) := "00";
+begin
+  step : process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        state <= "00";
+      else
+        case state is
+          when "00"   => state <= "01";  -- red    -> red+yellow
+          when "01"   => state <= "10";  -- r+y    -> green
+          when "10"   => state <= "11";  -- green  -> yellow
+          when others => state <= "00";  -- yellow -> red
+        end case;
+      end if;
+    end if;
+  end process;
+
+  decode : process(state)
+  begin
+    case state is
+      when "00"   => lights <= "100";
+      when "01"   => lights <= "110";
+      when "10"   => lights <= "001";
+      when others => lights <= "010";
+    end case;
+  end process;
+end fsm;
+
+entity tb is end tb;
+
+architecture sim of tb is
+  component traffic
+    port (clk : in std_logic; rst : in std_logic;
+          lights : out std_logic_vector(2 downto 0));
+  end component;
+  signal clk, rst : std_logic := '0';
+  signal lights : std_logic_vector(2 downto 0);
+begin
+  dut : traffic port map (clk => clk, rst => rst, lights => lights);
+
+  clocking : process
+  begin
+    for i in 1 to 10 loop
+      clk <= '0'; wait for 10 ns;
+      clk <= '1'; wait for 10 ns;
+    end loop;
+    wait;
+  end process;
+
+  reset : process
+  begin
+    rst <= '1';
+    wait for 25 ns;
+    rst <= '0';
+    wait;
+  end process;
+end sim;
+"""
+
+NAMES = {"100": "RED", "110": "RED+YELLOW", "001": "GREEN",
+         "010": "YELLOW"}
+
+
+def main() -> None:
+    design = elaborate(SOURCE, top="tb")
+    print(f"elaborated {design.lp_count} LPs "
+          f"({len(design.signals)} signals, "
+          f"{len(design.processes)} processes)")
+
+    result = simulate(design)
+    print("\nlight sequence:")
+    for time, value in result.trace("lights"):
+        pattern = vector_to_str(value)
+        print(f"  t={time.pt / 1e6:6.0f} ns  {pattern}  "
+              f"{NAMES.get(pattern, '?')}")
+
+    # The same compiled design runs under the mixed parallel protocol;
+    # the elaborator tagged the clocked process conservative and the
+    # decoder optimistic (the paper's heuristic).
+    parallel = simulate_parallel(elaborate(SOURCE, top="tb"),
+                                 processors=3, protocol="mixed")
+    assert parallel.traces == result.traces
+    print(f"\nparallel (mixed, 3 processors) matches: "
+          f"makespan {parallel.parallel_time:.1f} units, "
+          f"{parallel.stats.summary()}")
+
+
+if __name__ == "__main__":
+    main()

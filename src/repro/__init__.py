@@ -1,0 +1,19 @@
+"""repro: parallel and distributed VHDL simulation via PDES.
+
+A from-scratch reproduction of *Parallel and Distributed VHDL Simulation*
+(Lungeanu & Shi, DATE 2000): a distributed VHDL kernel mapping signals and
+processes onto logical processes, a `(physical, logical)` virtual-time
+tie-breaking scheme for the VHDL delta cycle, and a lookahead-free
+self-adaptive optimistic/conservative PDES protocol, evaluated on a
+modelled multiprocessor.
+
+Public entry points:
+
+* :mod:`repro.vhdl` -- build designs and simulate them,
+* :mod:`repro.core` -- the protocol-independent PDES substrate,
+* :mod:`repro.parallel` -- the modelled parallel machine and protocols,
+* :mod:`repro.circuits` -- the paper's benchmark circuits,
+* :mod:`repro.analysis` -- speedup measurement and report rendering.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,117 @@
+"""Trace comparison: the library form of the equivalence invariant.
+
+The whole reproduction rests on "every engine commits the same
+waveforms".  ``diff_results`` turns that from a test-suite assertion
+into a user-facing tool: compare two :class:`SimulationResult`s and get
+a structured report of every divergence — missing signals, extra or
+missing value changes, value mismatches, timing differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.vtime import VirtualTime, format_time
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One difference between two traces."""
+
+    signal: str
+    kind: str          # 'missing-signal' | 'extra-change' |
+                       # 'missing-change' | 'value' | 'time'
+    index: int         # change index within the trace (-1: whole signal)
+    left: Optional[Tuple[VirtualTime, object]] = None
+    right: Optional[Tuple[VirtualTime, object]] = None
+
+    def describe(self) -> str:
+        where = f"{self.signal}[{self.index}]" if self.index >= 0 \
+            else self.signal
+        if self.kind == "missing-signal":
+            side = "right" if self.left is not None else "left"
+            return f"{where}: only traced on the {side} side"
+        if self.kind == "extra-change":
+            t, v = self.left
+            return (f"{where}: left has extra change "
+                    f"{v!r} @ {format_time(t.pt)}")
+        if self.kind == "missing-change":
+            t, v = self.right
+            return (f"{where}: left misses change "
+                    f"{v!r} @ {format_time(t.pt)}")
+        if self.kind == "value":
+            (_tl, vl), (_tr, vr) = self.left, self.right
+            return f"{where}: value {vl!r} != {vr!r}"
+        (tl, _vl), (tr, _vr) = self.left, self.right
+        return (f"{where}: time {format_time(tl.pt)}@{tl.lt} != "
+                f"{format_time(tr.pt)}@{tr.lt}")
+
+
+@dataclass
+class DiffReport:
+    """All divergences between two simulation results."""
+
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.divergences
+
+    def summary(self, limit: int = 20) -> str:
+        if self.identical:
+            return "traces identical"
+        lines = [f"{len(self.divergences)} divergence(s):"]
+        for div in self.divergences[:limit]:
+            lines.append(f"  {div.describe()}")
+        if len(self.divergences) > limit:
+            lines.append(f"  ... and {len(self.divergences) - limit} more")
+        return "\n".join(lines)
+
+
+def diff_results(left, right, physical_only: bool = False) -> DiffReport:
+    """Compare the committed traces of two simulation results.
+
+    ``physical_only=True`` ignores the logical (delta) component of
+    timestamps — useful when comparing runs whose delta counts may
+    legitimately differ (e.g. different kernels) but whose physical-time
+    behaviour must agree.
+    """
+    report = DiffReport()
+    names = sorted(set(left.traces) | set(right.traces))
+    for name in names:
+        if name not in left.traces:
+            report.divergences.append(Divergence(
+                name, "missing-signal", -1,
+                right=(VirtualTime(0, 0), None)))
+            continue
+        if name not in right.traces:
+            report.divergences.append(Divergence(
+                name, "missing-signal", -1,
+                left=(VirtualTime(0, 0), None)))
+            continue
+        _diff_signal(report, name, left.traces[name],
+                     right.traces[name], physical_only)
+    return report
+
+
+def _diff_signal(report: DiffReport, name: str, left, right,
+                 physical_only: bool) -> None:
+    for index in range(max(len(left), len(right))):
+        if index >= len(left):
+            report.divergences.append(Divergence(
+                name, "missing-change", index, right=right[index]))
+            continue
+        if index >= len(right):
+            report.divergences.append(Divergence(
+                name, "extra-change", index, left=left[index]))
+            continue
+        (tl, vl), (tr, vr) = left[index], right[index]
+        if vl != vr:
+            report.divergences.append(Divergence(
+                name, "value", index, left=left[index],
+                right=right[index]))
+        elif (tl.pt != tr.pt) or (not physical_only and tl.lt != tr.lt):
+            report.divergences.append(Divergence(
+                name, "time", index, left=left[index],
+                right=right[index]))

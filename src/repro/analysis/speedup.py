@@ -1,0 +1,92 @@
+"""Speedup measurement against the sequential baseline.
+
+The paper reports speedups "relative to the 1 processor execution
+(improved for sequential simulation)": the baseline is the plain
+sequential event-driven simulator with no protocol machinery, not the
+parallel engine on one processor.  We model the sequential run time as
+``committed events x event cost`` (the sequential simulator does nothing
+per event beyond executing it), and the parallel run time as the
+machine's makespan, so
+
+    speedup(P) = T_seq / makespan(P).
+
+A ``SpeedupCurve`` holds one protocol's series over processor counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.stats import RunStats
+from ..parallel.cost import SHARED_MEMORY, CostModel
+from ..parallel.machine import ParallelOutcome, run_parallel
+from ..core.sequential import SequentialSimulator
+
+
+@dataclass
+class SpeedupPoint:
+    processors: int
+    speedup: float
+    makespan: float
+    outcome: ParallelOutcome
+
+
+@dataclass
+class SpeedupCurve:
+    protocol: str
+    baseline_time: float
+    points: List[SpeedupPoint] = field(default_factory=list)
+
+    def processors(self) -> List[int]:
+        return [p.processors for p in self.points]
+
+    def speedups(self) -> List[float]:
+        return [p.speedup for p in self.points]
+
+    def at(self, processors: int) -> SpeedupPoint:
+        for point in self.points:
+            if point.processors == processors:
+                return point
+        raise KeyError(processors)
+
+
+def sequential_baseline(build: Callable[[], "object"],
+                        until: Optional[int] = None,
+                        cost: CostModel = SHARED_MEMORY) -> float:
+    """Modelled run time of the plain sequential simulator."""
+    design = build()
+    model = design.elaborate()
+    sim = SequentialSimulator(model)
+    stats = sim.run(until=until)
+    return stats.events_committed * cost.event
+
+
+def measure_speedups(build: Callable[[], "object"],
+                     protocols: Sequence[str],
+                     processor_counts: Sequence[int],
+                     until: Optional[int] = None,
+                     cost: CostModel = SHARED_MEMORY,
+                     **machine_kwargs) -> Dict[str, SpeedupCurve]:
+    """Run the full protocol x processor-count sweep for one circuit.
+
+    ``build`` must return a *fresh* Design each call (simulation mutates
+    LP state).  Returns one curve per protocol.
+    """
+    baseline = sequential_baseline(build, until=until, cost=cost)
+    curves: Dict[str, SpeedupCurve] = {}
+    for protocol in protocols:
+        curve = SpeedupCurve(protocol=protocol, baseline_time=baseline)
+        for processors in processor_counts:
+            design = build()
+            model = design.elaborate()
+            outcome = run_parallel(model, processors=processors,
+                                   protocol=protocol, until=until,
+                                   cost=cost, **machine_kwargs)
+            curve.points.append(SpeedupPoint(
+                processors=processors,
+                speedup=baseline / outcome.makespan,
+                makespan=outcome.makespan,
+                outcome=outcome))
+        curves[protocol] = curve
+    return curves

@@ -1,0 +1,134 @@
+"""ASCII timing diagrams of committed traces.
+
+A terminal-friendly rendering of waveforms, in the spirit of classic
+`_/‾` timing diagrams: scalar signals as level lines with edges, vector
+signals as labelled value spans.  Complements the VCD export for quick
+looks without a viewer.
+
+    clk   : _/‾\\_/‾\\_/‾\\_/‾\\_
+    q     : 0000|0001   |0010
+
+Each column is one tick of the chosen resolution; delta-cycle detail is
+collapsed to the final value at each physical time (like the VCD
+export).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.vtime import format_time
+from ..vhdl.values import StdLogic
+
+
+def _nice_step(raw: int) -> int:
+    """Round a step up to 1/2/5 x 10^k femtoseconds (readable axis)."""
+    magnitude = 1
+    while magnitude * 10 <= raw:
+        magnitude *= 10
+    for mult in (1, 2, 5, 10):
+        if mult * magnitude >= raw:
+            return mult * magnitude
+    return raw
+
+
+def _collapse(trace) -> List[Tuple[int, object]]:
+    per_pt: Dict[int, object] = {}
+    for vt, value in trace:
+        per_pt[vt.pt] = value
+    return sorted(per_pt.items())
+
+
+def _value_at(series: List[Tuple[int, object]], initial, t: int):
+    value = initial
+    for pt, v in series:
+        if pt > t:
+            break
+        value = v
+    return value
+
+
+def _scalar_glyphs(prev, value) -> str:
+    """Two glyphs: edge marker + level."""
+    def level(v):
+        if isinstance(v, StdLogic):
+            if v.char in ("1", "H"):
+                return "‾"
+            if v.char in ("0", "L"):
+                return "_"
+            return "x"
+        return "‾" if v else "_"
+
+    now = level(value)
+    if prev is None:
+        return now + now
+    before = level(prev)
+    if before == now:
+        return now + now
+    if before == "_" and now == "‾":
+        return "/" + now
+    if before == "‾" and now == "_":
+        return "\\" + now
+    return "|" + now
+
+
+def _vector_text(value) -> str:
+    if isinstance(value, tuple):
+        return "".join(b.char for b in value)
+    return str(value)
+
+
+def render_waves(result, signals: Optional[Sequence[str]] = None,
+                 width: int = 64) -> str:
+    """Render traced signals as an ASCII timing diagram.
+
+    ``width`` is the number of time columns; the time axis spans the
+    full committed run.
+    """
+    names = list(signals) if signals is not None \
+        else sorted(result.traces.keys())
+    for name in names:
+        if name not in result.traces:
+            raise KeyError(f"no trace for signal {name!r}")
+    series = {name: _collapse(result.traces[name]) for name in names}
+    initials = getattr(result, "initials", None) or {}
+    end = max((pts[-1][0] for pts in series.values() if pts), default=0)
+    if end == 0:
+        end = 1
+    step = _nice_step(max(1, -(-end // max(1, width - 1))))
+    ticks = list(range(0, end + step, step))[:width]
+
+    label_width = max((len(n) for n in names), default=0)
+    lines: List[str] = []
+    for name in names:
+        initial = initials.get(name)
+        first = series[name][0][1] if series[name] else \
+            (initial if initial is not None else result.finals.get(name))
+        is_scalar = isinstance(first, StdLogic) or isinstance(first, bool)
+        if is_scalar:
+            row = []
+            prev = None
+            for t in ticks:
+                value = _value_at(series[name], initial, t)
+                row.append(_scalar_glyphs(prev, value)
+                           if value is not None else "..")
+                prev = value
+            lines.append(f"{name.ljust(label_width)} : " + "".join(row))
+        else:
+            row_chars: List[str] = []
+            prev_text = None
+            for t in ticks:
+                value = _value_at(series[name], initial, t)
+                text = _vector_text(value) if value is not None else "?"
+                if text != prev_text:
+                    cell = "|" + text
+                    prev_text = text
+                else:
+                    cell = ""
+                row_chars.append(cell.ljust(2)[:max(2, len(cell))])
+            lines.append(f"{name.ljust(label_width)} : "
+                         + "".join(row_chars))
+    lines.append(f"{''.ljust(label_width)}   0 .. "
+                 f"{format_time(ticks[-1] if ticks else 0)} "
+                 f"({format_time(step)}/column)")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""The paper's benchmark circuits and supporting netlist machinery."""
+
+from .dct import DctCircuit, build_dct, reference_product
+from .fsm import FsmCircuit, build_fsm, reference_taps
+from .gates import Netlist, bus_finals, bus_value
+from .iir import IirCircuit, build_iir, reference_response
+from .random_logic import RandomCircuit, build_random
+from .vhdl_text import build_fsm_from_vhdl, fsm_vhdl
+
+__all__ = [
+    "Netlist", "bus_value", "bus_finals",
+    "FsmCircuit", "build_fsm", "reference_taps",
+    "IirCircuit", "build_iir", "reference_response",
+    "DctCircuit", "build_dct", "reference_product",
+    "RandomCircuit", "build_random",
+    "fsm_vhdl", "build_fsm_from_vhdl",
+]

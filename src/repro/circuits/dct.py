@@ -1,0 +1,215 @@
+"""The DCT processor benchmark (paper Figs. 9/10).
+
+The paper's Fig. 9 shows the DCT processor as an array of
+multiply-accumulate cells: row ``i`` streams input samples ``a(i,j)``
+past cells that multiply them by coefficients ``c(j,k)`` and accumulate
+``(ac)(i,k) = sum_j a(i,j) * c(j,k)`` — a matrix product, which is what a
+row/column DCT computes.
+
+We reconstruct it as an ``n x n`` array of MAC cells:
+
+* a *feeder* process per row plays the row's samples, one per clock;
+* a *coefficient generator* per column plays ``c(j,k)`` (the column of
+  the coefficient matrix) in step with the feeders;
+* cell ``(i,k)`` multiplies the row sample by the column coefficient and
+  adds it into an accumulator register each clock.
+
+At gate level the multiplier/adder/accumulator of every cell are built
+from gates (array multiplier + ripple adder + DFF bank), giving the
+~1.8k-LP model of the paper's gate-level DCT; the behavioural level
+replaces each cell with one clocked process.  All arithmetic is modulo
+``2**width`` so both levels agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.model import SyncMode
+from ..core.vtime import NS
+from ..vhdl.design import Design
+from ..vhdl.process import ClockedBody
+from ..vhdl.values import SL_0, sl
+from .gates import Netlist, Wire, bus_value
+
+#: Defaults sized toward the paper's gate-level DCT (~1792 LPs):
+#: a 4x4 array of 4-bit MAC cells.
+DEFAULT_N = 4
+DEFAULT_WIDTH = 4
+
+#: A 4x4 integer "DCT-like" coefficient matrix (signed values taken
+#: modulo 2**width at build time).  The exact values are irrelevant to
+#: the protocol study; rows with mixed signs mimic the cosine kernel.
+DEFAULT_COEFFS = (
+    (1, 1, 1, 1),
+    (2, 1, -1, -2),
+    (1, -1, -1, 1),
+    (1, -2, 2, -1),
+)
+
+#: Default input block (row-major), values mod 2**width.
+DEFAULT_BLOCK = (
+    (3, 1, 4, 1),
+    (5, 9, 2, 6),
+    (5, 3, 5, 8),
+    (9, 7, 9, 3),
+)
+
+
+@dataclass
+class DctCircuit:
+    """Handle to a built DCT benchmark."""
+
+    design: Design
+    n: int
+    width: int
+    level: str
+    #: Accumulator output buses, indexed ``[row][col]`` (LSB first).
+    accumulators: List[List[List[Wire]]]
+
+    @property
+    def lp_count(self) -> int:
+        return self.design.lp_count
+
+    def accumulator_values(self) -> List[List[int]]:
+        return [[bus_value(bus) for bus in row]
+                for row in self.accumulators]
+
+
+def build_dct(n: int = DEFAULT_N, width: int = DEFAULT_WIDTH,
+              coefficients: Optional[Sequence[Sequence[int]]] = None,
+              block: Optional[Sequence[Sequence[int]]] = None,
+              level: str = "gate",
+              period_fs: Optional[int] = None,
+              extra_cycles: int = 2) -> DctCircuit:
+    """Build the MAC-array DCT processor."""
+    if level not in ("gate", "behavioral"):
+        raise ValueError(f"unknown level {level!r}")
+    coefficients = coefficients if coefficients is not None \
+        else DEFAULT_COEFFS
+    block = block if block is not None else DEFAULT_BLOCK
+    if len(coefficients) < n or len(block) < n:
+        raise ValueError("coefficient matrix / block smaller than n")
+    mask = (1 << width) - 1
+    coeffs = [[coefficients[j][k] & mask for k in range(n)]
+              for j in range(n)]
+    samples = [[block[i][j] & mask for j in range(n)] for i in range(n)]
+    if period_fs is None:
+        period_fs = 2 * (width * 40 + 100) * NS
+    design = Design(f"dct_{level}_{n}x{n}w{width}")
+    clk = design.signal("clk", SL_0)
+    design.clock("clkgen", clk, period_fs=period_fs,
+                 cycles=n + 1 + extra_cycles)
+    net = Netlist(design, delay_fs=1 * NS)
+    a_buses = [_player(design, net, clk, f"a{i}",
+                       [samples[i][j] for j in range(n)], width)
+               for i in range(n)]
+    c_buses = [_player(design, net, clk, f"c{k}",
+                       [coeffs[j][k] for j in range(n)], width)
+               for k in range(n)]
+    if level == "gate":
+        accs = _build_gate(net, clk, a_buses, c_buses, n, width)
+    else:
+        accs = _build_behavioral(design, clk, a_buses, c_buses, n, width)
+    return DctCircuit(design=design, n=n, width=width, level=level,
+                      accumulators=accs)
+
+
+def _player(design: Design, net: Netlist, clk: Wire, name: str,
+            values: Sequence[int], width: int) -> List[Wire]:
+    """A clocked process playing ``values`` on a bus, then zeros."""
+    bus = net.bus(name, width)
+    out_ids = [w.lp_id for w in bus]
+    playlist = tuple(values)
+
+    def play(state: Dict, inputs: Dict, api) -> Dict:
+        index = state["i"]
+        value = playlist[index] if index < len(playlist) else 0
+        state["i"] = index + 1
+        return {out_ids[b]: sl((value >> b) & 1) for b in range(width)}
+
+    body = ClockedBody(clock=clk, inputs=[], outputs=bus, fn=play,
+                       initial_state={"i": 0})
+    design.process(f"{name}.player", body, mode=SyncMode.CONSERVATIVE)
+    return bus
+
+
+def _build_gate(net: Netlist, clk: Wire, a_buses: List[List[Wire]],
+                c_buses: List[List[Wire]], n: int,
+                width: int) -> List[List[List[Wire]]]:
+    accs: List[List[List[Wire]]] = []
+    for i in range(n):
+        row: List[List[Wire]] = []
+        for k in range(n):
+            product = net.multiplier(a_buses[i], c_buses[k])
+            acc_q = net.bus(f"acc{i}{k}", width,
+                            traced=False)
+            total = net.ripple_adder(product, acc_q)
+            net.register(clk, total, acc_q, name=f"acc{i}{k}.reg")
+            row.append(acc_q)
+        accs.append(row)
+    return accs
+
+
+def _build_behavioral(design: Design, clk: Wire,
+                      a_buses: List[List[Wire]],
+                      c_buses: List[List[Wire]], n: int,
+                      width: int) -> List[List[List[Wire]]]:
+    mask = (1 << width) - 1
+    accs: List[List[List[Wire]]] = []
+    for i in range(n):
+        row: List[List[Wire]] = []
+        for k in range(n):
+            bus = [design.signal(f"acc{i}{k}[{b}]", SL_0)
+                   for b in range(width)]
+            out_ids = [w.lp_id for w in bus]
+            a_ids = [w.lp_id for w in a_buses[i]]
+            c_ids = [w.lp_id for w in c_buses[k]]
+
+            def mac(state: Dict, inputs: Dict, api,
+                    _a=tuple(a_ids), _c=tuple(c_ids),
+                    _out=tuple(out_ids)) -> Dict:
+                a = 0
+                for b, sig in enumerate(_a):
+                    if inputs[sig].to_bool():
+                        a |= 1 << b
+                c = 0
+                for b, sig in enumerate(_c):
+                    if inputs[sig].to_bool():
+                        c |= 1 << b
+                state["acc"] = (state["acc"] + a * c) & mask
+                return {_out[b]: sl((state["acc"] >> b) & 1)
+                        for b in range(width)}
+
+            body = ClockedBody(clock=clk,
+                               inputs=list(a_buses[i]) + list(c_buses[k]),
+                               outputs=bus, fn=mac,
+                               initial_state={"acc": 0})
+            design.process(f"mac{i}{k}", body,
+                           mode=SyncMode.CONSERVATIVE)
+            row.append(bus)
+        accs.append(row)
+    return accs
+
+
+def reference_product(n: int = DEFAULT_N, width: int = DEFAULT_WIDTH,
+                      coefficients: Optional[Sequence[Sequence[int]]] = None,
+                      block: Optional[Sequence[Sequence[int]]] = None,
+                      ) -> List[List[int]]:
+    """The matrix product the array computes, modulo ``2**width``."""
+    coefficients = coefficients if coefficients is not None \
+        else DEFAULT_COEFFS
+    block = block if block is not None else DEFAULT_BLOCK
+    mask = (1 << width) - 1
+    out = []
+    for i in range(n):
+        row = []
+        for k in range(n):
+            acc = 0
+            for j in range(n):
+                acc = (acc + (block[i][j] & mask)
+                       * (coefficients[j][k] & mask)) & mask
+            row.append(acc)
+        out.append(row)
+    return out

@@ -1,0 +1,151 @@
+"""The FSM benchmark (paper Fig. 5): zero-delay state machines.
+
+The paper's first workload is a finite state machine simulated with
+**0 delay** — all next-state logic resolves through delta cycles, which
+is precisely the case that breaks PDES protocols without the paper's
+``(pt, lt)`` tie-breaking (Fig. 6 is captioned "for FSM (0 Delay)").
+
+We reconstruct it as a ring of 4-bit LFSR-style state machine cells:
+each cell's next-state logic (zero-delay XOR/AND gates) mixes its own
+state with a bit from the neighbouring cell, so activity propagates
+around the ring and across any partition.  At the default size the model
+has ≈553 LPs, matching the paper's reported FSM size.
+
+``level="behavioral"`` collapses each cell into a single clocked process
+holding an integer state — the same machine, far fewer LPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.model import SyncMode
+from ..core.vtime import NS
+from ..vhdl.design import Design
+from ..vhdl.process import ClockedBody
+from ..vhdl.values import SL_0, sl
+from .gates import Netlist, Wire
+
+#: Default sizing: 46 cells x 12 LPs + clock + clk wire = 554 LPs,
+#: matching the paper's reported 553-LP FSM.
+DEFAULT_CELLS = 46
+STATE_BITS = 4
+
+
+@dataclass
+class FsmCircuit:
+    """Handle to a built FSM benchmark."""
+
+    design: Design
+    cells: int
+    level: str
+    #: Output wire of each cell (bit 0 of its state register).
+    taps: List[Wire]
+
+    @property
+    def lp_count(self) -> int:
+        return self.design.lp_count
+
+
+def _next_state(state: int, ext: int) -> int:
+    """The cell's transition function: a 4-bit Fibonacci LFSR whose
+    feedback is XORed with the neighbour's tap bit."""
+    feedback = ((state >> 3) ^ (state >> 2) ^ ext) & 1
+    return ((state << 1) | feedback) & 0xF
+
+
+def build_fsm(cells: int = DEFAULT_CELLS, level: str = "gate",
+              cycles: int = 32, period_fs: int = 10 * NS,
+              traced_taps: bool = True,
+              gate_delay_fs: int = 0) -> FsmCircuit:
+    """Build the FSM ring benchmark.
+
+    ``cycles`` clock periods of stimulus are generated.  The paper's
+    Fig. 6 is captioned "(0 Delay)": with ``gate_delay_fs = 0`` all
+    next-state logic resolves through delta cycles on every edge —
+    the densest simultaneous-event regime.  A non-zero delay spreads
+    the same events over physical time instead (the combinational
+    settle must fit in half a period; the default period leaves room
+    for delays up to ~2 ns).
+    """
+    if level not in ("gate", "behavioral"):
+        raise ValueError(f"unknown level {level!r}")
+    if gate_delay_fs and 2 * gate_delay_fs >= period_fs // 2:
+        raise ValueError("gate delay too large for the clock period")
+    design = Design(f"fsm_{level}_{cells}_d{gate_delay_fs}")
+    clk = design.signal("clk", SL_0)
+    design.clock("clkgen", clk, period_fs=period_fs, cycles=cycles)
+    if level == "gate":
+        taps = _build_gate(design, clk, cells, traced_taps,
+                           gate_delay_fs)
+    else:
+        taps = _build_behavioral(design, clk, cells, traced_taps)
+    return FsmCircuit(design=design, cells=cells, level=level, taps=taps)
+
+
+def _build_gate(design: Design, clk: Wire, cells: int,
+                traced: bool, gate_delay_fs: int = 0) -> List[Wire]:
+    net = Netlist(design, delay_fs=gate_delay_fs)
+    # State registers, seeded with distinct non-zero patterns so the
+    # LFSRs do not all run in lockstep.
+    q: List[List[Wire]] = []
+    for c in range(cells):
+        init = (c % 15) + 1
+        q.append([net.wire(f"c{c}.q{i}", init=sl((init >> i) & 1),
+                           traced=(traced and i == 0))
+                  for i in range(STATE_BITS)])
+    taps = [q[c][0] for c in range(cells)]
+    for c in range(cells):
+        neighbour = taps[(c - 1) % cells]
+        # feedback = q3 ^ q2 ^ neighbour_tap  (zero-delay gates)
+        fb1 = net.wire(f"c{c}.fb1")
+        net.gate("xor", [q[c][3], q[c][2]], fb1, name=f"c{c}.x1")
+        fb = net.wire(f"c{c}.fb")
+        net.gate("xor", [fb1, neighbour], fb, name=f"c{c}.x2")
+        # Shift: n[i] = q[i-1]; n[0] = feedback.
+        d_bus = [fb] + [q[c][i] for i in range(STATE_BITS - 1)]
+        for i in range(STATE_BITS):
+            init = (((c % 15) + 1) >> i) & 1
+            net.dff(clk, d_bus[i], q[c][i], name=f"c{c}.ff{i}",
+                    init=sl(init))
+    return taps
+
+
+def _build_behavioral(design: Design, clk: Wire, cells: int,
+                      traced: bool) -> List[Wire]:
+    taps: List[Wire] = [
+        design.signal(f"c{c}.tap", sl((((c % 15) + 1)) & 1),
+                      traced=traced)
+        for c in range(cells)
+    ]
+    for c in range(cells):
+        neighbour = taps[(c - 1) % cells]
+        tap = taps[c]
+        tap_id = tap.lp_id
+        neighbour_id = neighbour.lp_id
+
+        def step(state: Dict, inputs: Dict, api,
+                 _tap_id=tap_id, _n_id=neighbour_id) -> Dict:
+            ext = 1 if inputs[_n_id].to_bool() else 0
+            state["s"] = _next_state(state["s"], ext)
+            return {_tap_id: sl(state["s"] & 1)}
+
+        body = ClockedBody(clock=clk, inputs=[neighbour], outputs=[tap],
+                           fn=step, initial_state={"s": (c % 15) + 1})
+        design.process(f"c{c}.fsm", body, mode=SyncMode.CONSERVATIVE)
+    return taps
+
+
+def reference_taps(cells: int, cycles: int) -> List[int]:
+    """Pure-Python reference: the tap bits after ``cycles`` clock edges.
+
+    Used by tests to check both abstraction levels against the intended
+    machine.
+    """
+    states = [(c % 15) + 1 for c in range(cells)]
+    for _ in range(cycles):
+        taps = [s & 1 for s in states]
+        states = [_next_state(states[c], taps[(c - 1) % cells])
+                  for c in range(cells)]
+    return [s & 1 for s in states]

@@ -1,0 +1,183 @@
+"""Command-line interface: compile, simulate, and study VHDL designs.
+
+Usage (also via ``python -m repro``):
+
+    repro simulate design.vhd --top tb --until 1us --vcd wave.vcd
+    repro parallel design.vhd --top tb -p 8 --protocol dynamic
+    repro report   design.vhd --top tb
+    repro bench    fsm --processors 1 2 4 8
+
+The ``simulate`` command runs the sequential reference engine;
+``parallel`` runs the modelled multiprocessor under any of the paper's
+protocol configurations and prints the synchronization statistics;
+``report`` prints the elaborated LP graph inventory; ``bench`` sweeps a
+built-in benchmark circuit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import measure_speedups, speedup_table
+from .analysis.vcd import write_vcd
+from .core.vtime import format_time, parse_time
+from .vhdl import simulate, simulate_parallel
+from .vhdl.frontend import elaborate
+
+
+def _parse_until(text: Optional[str]) -> Optional[int]:
+    """'500ns' / '1 us' / '1000' (fs) -> femtoseconds."""
+    if text is None:
+        return None
+    text = text.strip()
+    for unit in ("fs", "ps", "ns", "us", "ms", "sec", "s"):
+        if text.endswith(unit):
+            number = text[: -len(unit)].strip()
+            return parse_time(float(number), unit)
+    return int(text)
+
+
+def _load_design(args):
+    with open(args.file) as handle:
+        source = handle.read()
+    traced = True if not args.trace else tuple(args.trace)
+    return elaborate(source, top=args.top, traced=traced)
+
+
+def _add_design_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="VHDL source file")
+    parser.add_argument("--top", required=True,
+                        help="top entity to elaborate")
+    parser.add_argument("--until", default=None,
+                        help="simulation horizon, e.g. '500ns' or '1us'")
+    parser.add_argument("--trace", nargs="*", default=None,
+                        help="signals to trace (default: all)")
+    parser.add_argument("--vcd", default=None,
+                        help="write waveforms to this VCD file")
+    parser.add_argument("--waves", action="store_true",
+                        help="print an ASCII timing diagram")
+
+
+def cmd_simulate(args) -> int:
+    design = _load_design(args)
+    result = simulate(design, until=_parse_until(args.until))
+    print(f"{design.lp_count} LPs, "
+          f"{result.stats.events_committed} events, "
+          f"final time {format_time(result.stats.final_time.pt)}")
+    if args.waves:
+        from .analysis.waves import render_waves
+        print(render_waves(result))
+    if args.vcd:
+        write_vcd(result, args.vcd)
+        print(f"waveforms written to {args.vcd}")
+    elif not args.waves:
+        for name in sorted(result.traces):
+            changes = len(result.traces[name])
+            print(f"  {name}: {changes} change(s), "
+                  f"final {result.finals[name]!r}")
+    return 0
+
+
+def cmd_parallel(args) -> int:
+    design = _load_design(args)
+    result = simulate_parallel(design, processors=args.processors,
+                               protocol=args.protocol,
+                               partition=args.partition,
+                               until=_parse_until(args.until))
+    stats = result.stats
+    print(f"{design.lp_count} LPs on {args.processors} processors "
+          f"({args.protocol}, {args.partition} partitioning)")
+    print(f"  modelled makespan : {result.parallel_time:.1f} units")
+    print(f"  committed events  : {stats.events_committed}")
+    print(f"  rollbacks         : {stats.rollbacks} "
+          f"(efficiency {stats.efficiency:.3f})")
+    print(f"  antimessages      : {stats.antimessages}")
+    print(f"  deadlock recovery : {stats.deadlock_recoveries} rounds")
+    print(f"  mode switches     : {stats.mode_switches}")
+    if args.vcd:
+        write_vcd(result, args.vcd)
+        print(f"waveforms written to {args.vcd}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    design = _load_design(args)
+    report = design.size_report()
+    print(f"design {design.name}:")
+    for key in ("signals", "processes", "lps", "channels"):
+        print(f"  {key:10s} {report[key]}")
+    from .core.model import SyncMode
+    conservative = sum(
+        1 for lp in design.model.lps
+        if design.model.sync_modes[lp.lp_id] is SyncMode.CONSERVATIVE)
+    print(f"  conservative-tagged LPs (mixed heuristic): {conservative}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .circuits import build_dct, build_fsm, build_iir
+
+    builders = {
+        "fsm": lambda: build_fsm(cycles=args.cycles).design,
+        "iir": lambda: build_iir().design,
+        "dct": lambda: build_dct().design,
+    }
+    build = builders[args.circuit]
+    curves = measure_speedups(build, args.protocols, args.processors,
+                              max_steps=200_000_000)
+    print(speedup_table(curves, f"{args.circuit} speedup"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel and distributed VHDL simulation "
+                    "(Lungeanu & Shi, DATE 2000 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate",
+                           help="run the sequential reference engine")
+    _add_design_args(p_sim)
+    p_sim.set_defaults(handler=cmd_simulate)
+
+    p_par = sub.add_parser("parallel",
+                           help="run the modelled parallel machine")
+    _add_design_args(p_par)
+    p_par.add_argument("-p", "--processors", type=int, default=4)
+    p_par.add_argument("--protocol", default="dynamic",
+                       choices=["optimistic", "conservative", "mixed",
+                                "dynamic"])
+    p_par.add_argument("--partition", default="round_robin",
+                       choices=["round_robin", "block", "bfs"])
+    p_par.set_defaults(handler=cmd_parallel)
+
+    p_rep = sub.add_parser("report", help="print the LP graph inventory")
+    p_rep.add_argument("file")
+    p_rep.add_argument("--top", required=True)
+    p_rep.add_argument("--trace", nargs="*", default=None)
+    p_rep.set_defaults(handler=cmd_report)
+
+    p_bench = sub.add_parser("bench",
+                             help="sweep a built-in benchmark circuit")
+    p_bench.add_argument("circuit", choices=["fsm", "iir", "dct"])
+    p_bench.add_argument("--processors", type=int, nargs="+",
+                         default=[1, 2, 4, 8])
+    p_bench.add_argument("--protocols", nargs="+",
+                         default=["optimistic", "conservative",
+                                  "dynamic"])
+    p_bench.add_argument("--cycles", type=int, default=8)
+    p_bench.set_defaults(handler=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Protocol-independent PDES core: virtual time, events, LPs, engines."""
+
+from .event import Event, EventId, EventKind
+from .lp import Channel, FunctionLP, LogicalProcess, SinkLP
+from .model import Model, SyncMode
+from .sequential import SequentialSimulator
+from .stats import RunStats
+from .vtime import (FS, INFINITY, MS, NS, PHASE_ASSIGN, PHASE_DRIVING,
+                    PHASE_EFFECTIVE, PHASES_PER_CYCLE, PS, SEC, US,
+                    VirtualTime, ZERO, format_time, parse_time)
+
+__all__ = [
+    "Event", "EventId", "EventKind",
+    "Channel", "FunctionLP", "LogicalProcess", "SinkLP",
+    "Model", "SyncMode",
+    "SequentialSimulator", "RunStats",
+    "VirtualTime", "ZERO", "INFINITY",
+    "FS", "PS", "NS", "US", "MS", "SEC",
+    "PHASE_ASSIGN", "PHASE_DRIVING", "PHASE_EFFECTIVE", "PHASES_PER_CYCLE",
+    "format_time", "parse_time",
+]

@@ -1,0 +1,105 @@
+"""The sequential event-driven simulator.
+
+This is the uniprocessor baseline the paper measures speedups against
+("improved for sequential simulation"): a single global event heap, no
+synchronization protocol, no channel bookkeeping.  It doubles as the
+reference implementation for the equivalence tests — every parallel
+protocol must produce exactly the traces this engine produces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from .event import Event, EventKind
+from .model import Model
+from .stats import RunStats
+from .vtime import VirtualTime
+
+
+class SequentialSimulator:
+    """Single-heap discrete-event simulator over a :class:`Model`.
+
+    ``shuffle_ties`` (a ``random.Random``) randomizes the processing
+    order of events with equal virtual time.  The paper's tie-breaking
+    scheme guarantees that any such order yields the same results; the
+    property-based tests exercise exactly that claim.
+    """
+
+    def __init__(self, model: Model, shuffle_ties=None,
+                 key_fn=None) -> None:
+        model.validate()
+        self.model = model
+        self._heap: List[Tuple[tuple, Event]] = []
+        self.stats = RunStats()
+        self._primed = False
+        self._shuffle = shuffle_ties
+        #: Custom ordering key — used by the tie-breaking ablation to
+        #: simulate a kernel WITHOUT the (pt, lt) scheme (ordering by
+        #: physical time only).  Overrides ``shuffle_ties``.
+        self._key_fn = key_fn
+
+    # ------------------------------------------------------------------
+    def inject(self, event: Event) -> None:
+        """Insert an externally produced event (stimulus)."""
+        if self._key_fn is not None:
+            key = self._key_fn(event)
+        elif self._shuffle is not None:
+            key = (event.time, self._shuffle.random())
+        else:
+            key = event.sort_key()
+        heapq.heappush(self._heap, (key, event))
+
+    def _prime(self) -> None:
+        for lp in self.model.lps:
+            for event in lp.init_events():
+                self.inject(event)
+        self._primed = True
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> RunStats:
+        """Run until the heap drains, ``until`` fs is passed, or
+        ``max_events`` have been executed.
+
+        Events *at* physical time ``until`` are still processed (matching
+        VHDL's inclusive end-of-simulation convention for ``run <t>``);
+        the first event strictly beyond it stops the run.
+        """
+        if not self._primed:
+            self._prime()
+        executed = 0
+        while self._heap:
+            key, event = self._heap[0]
+            if until is not None and event.time.pt > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            heapq.heappop(self._heap)
+            self._dispatch(event)
+            executed += 1
+        return self.stats
+
+    def _dispatch(self, event: Event) -> None:
+        if event.kind is EventKind.NULL:
+            return
+        lp = self.model.lp(event.dst)
+        lp.now = event.time
+        lp.simulate(event)
+        self.stats.count_execution(event.dst)
+        self.stats.events_committed += 1
+        self.stats.final_time = max(self.stats.final_time, event.time)
+        for out in lp.drain_outbox():
+            self.inject(out)
+
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    def next_time(self) -> Optional[VirtualTime]:
+        """Timestamp of the earliest pending event, if any."""
+        if not self._heap:
+            return None
+        return self._heap[0][1].time

@@ -1,0 +1,105 @@
+"""Run statistics collected by every engine.
+
+The paper's evaluation compares protocols by run time and, qualitatively,
+by their overheads (rollbacks, blocking, null messages, memory).  Every
+engine fills a :class:`RunStats` so benchmarks and tests can report the
+same quantities uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .vtime import VirtualTime, ZERO
+
+
+@dataclass
+class RunStats:
+    """Counters accumulated over one simulation run."""
+
+    #: Committed (i.e. never rolled back) event executions.
+    events_committed: int = 0
+    #: Total event executions including ones later rolled back.
+    events_executed: int = 0
+    #: Number of rollbacks performed (optimistic/adaptive engines).
+    rollbacks: int = 0
+    #: Events squashed by rollbacks (executed - committed, tracked live).
+    events_rolled_back: int = 0
+    #: Antimessages sent.
+    antimessages: int = 0
+    #: Positive/negative pairs annihilated in input queues.
+    annihilations: int = 0
+    #: Null messages sent (conservative with lookahead).
+    null_messages: int = 0
+    #: Times a conservative LP had input pending but nothing safe.
+    blocked_polls: int = 0
+    #: Global deadlock-recovery rounds (lookahead-free conservative).
+    deadlock_recoveries: int = 0
+    #: GVT computations performed.
+    gvt_rounds: int = 0
+    #: State snapshots taken.
+    snapshots: int = 0
+    #: Snapshots reclaimed by fossil collection.
+    fossils_collected: int = 0
+    #: LP mode switches performed by the dynamic adaptation.
+    mode_switches: int = 0
+    #: Messages a lazy-cancellation re-execution regenerated identically
+    #: (reused in place: neither resent nor cancelled).
+    lazy_reused: int = 0
+    #: Events re-executed during coast-forward (interval checkpointing:
+    #: a rollback lands on the nearest earlier snapshot and silently
+    #: replays forward to the target state).
+    coast_forward_events: int = 0
+    #: Peak simultaneous speculative (uncommitted) event log entries —
+    #: the memory the paper says optimism "demands huge amounts" of.
+    peak_speculative: int = 0
+    #: Final GVT / furthest committed virtual time.
+    final_time: VirtualTime = ZERO
+    #: Executed events per LP id (load observation for partitioning).
+    events_per_lp: Dict[int, int] = field(default_factory=dict)
+
+    def count_execution(self, lp_id: int) -> None:
+        self.events_executed += 1
+        self.events_per_lp[lp_id] = self.events_per_lp.get(lp_id, 0) + 1
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of executed events that were ultimately useful."""
+        if self.events_executed == 0:
+            return 1.0
+        return self.events_committed / self.events_executed
+
+    def merge(self, other: "RunStats") -> None:
+        """Fold another processor's counters into this one."""
+        self.events_committed += other.events_committed
+        self.events_executed += other.events_executed
+        self.rollbacks += other.rollbacks
+        self.events_rolled_back += other.events_rolled_back
+        self.antimessages += other.antimessages
+        self.annihilations += other.annihilations
+        self.null_messages += other.null_messages
+        self.blocked_polls += other.blocked_polls
+        self.deadlock_recoveries += other.deadlock_recoveries
+        self.gvt_rounds += other.gvt_rounds
+        self.snapshots += other.snapshots
+        self.fossils_collected += other.fossils_collected
+        self.mode_switches += other.mode_switches
+        self.lazy_reused += other.lazy_reused
+        self.coast_forward_events += other.coast_forward_events
+        self.peak_speculative = max(self.peak_speculative,
+                                    other.peak_speculative)
+        self.final_time = max(self.final_time, other.final_time)
+        for lp_id, count in other.events_per_lp.items():
+            self.events_per_lp[lp_id] = (
+                self.events_per_lp.get(lp_id, 0) + count)
+
+    def summary(self) -> str:
+        return (f"committed={self.events_committed} "
+                f"executed={self.events_executed} "
+                f"rollbacks={self.rollbacks} "
+                f"antimsgs={self.antimessages} "
+                f"nulls={self.null_messages} "
+                f"deadlock_recoveries={self.deadlock_recoveries} "
+                f"mode_switches={self.mode_switches} "
+                f"efficiency={self.efficiency:.3f}")

@@ -1,0 +1,17 @@
+"""Modelled multiprocessor, synchronization protocols, partitioning."""
+
+from .cost import DISTRIBUTED, SHARED_MEMORY, CostModel
+from .engine import AdaptPolicy, LPRuntime, Processor, ProtocolError
+from .machine import (PROTOCOLS, ParallelMachine, ParallelOutcome,
+                      run_parallel)
+from .partition import (PARTITIONERS, bfs_blocks, block, cut_channels,
+                        round_robin)
+from .threads import ThreadedMachine, ThreadedOutcome, run_threaded
+
+__all__ = [
+    "CostModel", "SHARED_MEMORY", "DISTRIBUTED",
+    "AdaptPolicy", "LPRuntime", "Processor", "ProtocolError",
+    "PROTOCOLS", "ParallelMachine", "ParallelOutcome", "run_parallel",
+    "PARTITIONERS", "round_robin", "block", "bfs_blocks", "cut_channels",
+    "ThreadedMachine", "ThreadedOutcome", "run_threaded",
+]

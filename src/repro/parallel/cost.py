@@ -1,0 +1,64 @@
+"""Cost model for the modelled multiprocessor.
+
+The paper measured wall-clock speedups on a 14-processor SGI Challenge.
+A pure-Python reproduction cannot demonstrate wall-clock thread speedup
+(the GIL serializes execution), so — per the documented substitution in
+DESIGN.md — the parallel run time is the *makespan* of a deterministic
+discrete-event model of the multiprocessor: each protocol action charges
+model time to the processor performing it, and inter-processor messages
+take latency to arrive.
+
+All costs are in abstract units where executing one event costs 1.0.
+The defaults model a shared-memory multiprocessor (cheap messages, like
+the SGI Challenge); what the benchmarks claim is the *shape* of the
+speedup curves under these relative costs, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Model-time charges for every protocol action."""
+
+    #: Executing one event at an LP (the unit).
+    event: float = 1.0
+    #: Enqueueing a message for an LP on the same processor.
+    local_msg: float = 0.02
+    #: Sender-side overhead of a remote message.
+    remote_send: float = 0.12
+    #: Transit latency of a remote message (does not occupy the sender).
+    remote_latency: float = 0.8
+    #: Receiver-side overhead of ingesting one remote message.
+    remote_recv: float = 0.05
+    #: Taking one state snapshot (optimistic LPs, before each event).
+    snapshot: float = 0.15
+    #: Fixed part of a rollback (restore state, reset queues).
+    rollback_fixed: float = 0.4
+    #: Per squashed event during a rollback (requeue + antimessage prep).
+    rollback_per_event: float = 0.25
+    #: Sending one null message (conservative with lookahead).
+    null_msg: float = 0.05
+    #: Per-processor charge of one global synchronization (GVT /
+    #: deadlock-recovery barrier).
+    gvt_round: float = 3.0
+    #: Per-processor charge of fossil-collecting after a GVT round.
+    fossil: float = 0.3
+    #: Switching an LP between optimistic and conservative mode.
+    mode_switch: float = 0.5
+
+    def scaled(self, **overrides: float) -> "CostModel":
+        """A copy with some charges replaced (for sensitivity studies)."""
+        from dataclasses import replace
+        return replace(self, **overrides)
+
+
+#: Shared-memory multiprocessor, the paper's platform.
+SHARED_MEMORY = CostModel()
+
+#: A cluster / message-passing flavour: expensive remote traffic.  Used by
+#: ablation benchmarks to show how the protocol ranking shifts.
+DISTRIBUTED = CostModel(remote_send=0.5, remote_latency=8.0,
+                        remote_recv=0.3, gvt_round=12.0)

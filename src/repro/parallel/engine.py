@@ -1,0 +1,816 @@
+"""Per-processor synchronization engine: the mixed PDES protocol.
+
+Each modelled processor owns a set of LP *runtimes*.  A runtime wraps one
+LP with everything its synchronization mode needs:
+
+* an input queue of timestamped events,
+* per-input-channel clocks (promises used by the conservative safety
+  rule),
+* for optimistic mode, the processed-event log with pre-state snapshots
+  and the output log used to send antimessages on rollback,
+* adaptation counters for the dynamic mode.
+
+The protocol implemented is the paper's lookahead-free self-adaptive
+mixed protocol:
+
+* **Optimistic** runtimes execute the lowest-timestamp queued event
+  eagerly, snapshotting first.  A straggler (positive event with a
+  timestamp *strictly* below an already-processed one) or a matching
+  antimessage triggers a rollback: state is restored, squashed events are
+  re-queued and antimessages are sent for every output of the squashed
+  executions.  Events with *equal* timestamps never roll back — that is
+  the arbitrary simultaneous-event model the ``(pt, lt)`` tie-breaking
+  makes sound (and the main saving over the user-consistent model).
+* **Conservative** runtimes execute their queue head only when it is
+  *safe*: its timestamp must not exceed every input channel's bound.  The
+  bound of a channel whose sender is conservative is the largest
+  ``send_time`` promise received on it (senders emit in non-decreasing
+  ``send_time`` order because sends always happen at the sender's current
+  virtual time); the bound of a channel whose sender is optimistic is the
+  last committed GVT — an optimistic LP can never roll back below GVT,
+  so those events are final (this is how a conservative LP "must be able
+  to handle events from an optimistic LP without rollback").  When
+  lookahead is available, null messages raise the channel bounds; without
+  it, progress beyond a stall relies on the machine's global
+  deadlock-recovery rounds, exactly the lookahead-free regime the paper
+  targets.
+* **Dynamic** runtimes switch between the two modes using rollback-rate /
+  blocking-rate hysteresis (Sec. 4: "the LPs self-adapt ... to find the
+  best configuration").
+
+A ``user_consistent=True`` engine reproduces the comparison model of the
+paper's Fig. 4: optimistic runtimes also roll back on *equal* timestamps,
+and conservative runtimes require a *strict* bound (they must be certain
+the simultaneous set is complete), which without lookahead degenerates
+into one global synchronization per event — the overhead the paper's
+protocol is designed to avoid.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.event import Event, EventId, EventKind
+from ..core.lp import LogicalProcess
+from ..core.model import Model, SyncMode
+from ..core.stats import RunStats
+from ..core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
+from .cost import CostModel
+
+
+class ProtocolError(RuntimeError):
+    """A synchronization invariant was violated (engine bug trap)."""
+
+
+@dataclass
+class AdaptPolicy:
+    """Hysteresis thresholds for the dynamic mode.
+
+    Switching to conservative is deliberately reluctant (an LP must
+    *demonstrably* thrash) and switching back is cheap: a conservative
+    LP that keeps blocking shows it is paying for safety it did not
+    need.  The escape path must not depend on executions — a blocked
+    conservative LP may never execute again without it.
+    """
+
+    #: Window length (executions) over which rollback rate is measured.
+    window: int = 48
+    #: Switch OPT -> CONS when squashed/executed exceeds this in a window.
+    rollback_ratio_high: float = 0.75
+    #: Switch CONS -> OPT after this many blocked polls in a row (each
+    #: park/re-arm cycle — i.e. roughly one per GVT round — counts one).
+    blocked_polls_high: int = 6
+    #: Minimum executions between OPT -> CONS switches of the same LP.
+    dwell: int = 96
+
+
+@dataclass
+class _Entry:
+    """One processed event in an optimistic runtime's log."""
+
+    __slots__ = ("event", "pre_snapshot", "pre_now", "sent")
+
+    event: Event
+    pre_snapshot: Any
+    pre_now: VirtualTime
+    sent: List[Event]
+
+
+class LPRuntime:
+    """Synchronization wrapper around one LP on one processor."""
+
+    __slots__ = (
+        "lp", "mode", "dynamic", "cons_epoch", "queue", "cancelled",
+        "negatives", "processed", "channel_clocks", "preds", "succs",
+        "executed", "squashed", "window_executed", "window_squashed",
+        "blocked_streak", "since_switch", "last_null_promise", "committed",
+        "release_floor", "since_snapshot", "lazy_pending",
+    )
+
+    def __init__(self, lp: LogicalProcess, mode: SyncMode,
+                 preds: Set[int], succs: Set[int]) -> None:
+        if mode is SyncMode.DYNAMIC:
+            resolved = (SyncMode.OPTIMISTIC if lp.checkpointable
+                        else SyncMode.CONSERVATIVE)
+            dynamic = lp.checkpointable
+        else:
+            resolved = mode
+            dynamic = False
+        if resolved is SyncMode.OPTIMISTIC and not lp.checkpointable:
+            # Heavy-state processes cannot save their state (paper Sec. 4).
+            resolved = SyncMode.CONSERVATIVE
+        self.lp = lp
+        self.mode = resolved
+        self.dynamic = dynamic
+        #: Bumped each time the LP (re)enters conservative mode; receivers
+        #: only trust channel promises tagged with the current epoch.
+        self.cons_epoch = 0
+        self.queue: List[Tuple[tuple, Event]] = []
+        self.cancelled: Set[EventId] = set()
+        self.negatives: Dict[EventId, Event] = {}
+        self.processed: List[_Entry] = []
+        #: src lp_id -> (sender cons_epoch, promised virtual time).
+        self.channel_clocks: Dict[int, Tuple[int, VirtualTime]] = {}
+        self.preds = preds
+        self.succs = succs
+        self.executed = 0
+        self.squashed = 0
+        self.window_executed = 0
+        self.window_squashed = 0
+        self.blocked_streak = 0
+        self.since_switch = 0
+        self.last_null_promise: Dict[int, VirtualTime] = {}
+        self.committed = 0
+        #: Distance-based lower bound on future arrivals, refreshed by the
+        #: machine's global rounds (see ParallelMachine._release_bounds).
+        self.release_floor: VirtualTime = MINUS_INFINITY
+        #: Executions since the last state snapshot (interval
+        #: checkpointing; see Processor.checkpoint_interval).
+        self.since_snapshot = 0
+        #: Lazy cancellation: messages whose executions were rolled back
+        #: but whose antimessages are withheld until re-execution either
+        #: regenerates them (reuse) or provably cannot anymore (cancel).
+        self.lazy_pending: List[Event] = []
+
+    # ------------------------------------------------------------------
+    # Queue plumbing
+    # ------------------------------------------------------------------
+    def push(self, event: Event) -> None:
+        heapq.heappush(self.queue, (event.sort_key(), event))
+
+    def head(self) -> Optional[Event]:
+        """The earliest live queued event (skipping annihilated ones)."""
+        while self.queue:
+            _key, event = self.queue[0]
+            if event.eid in self.cancelled:
+                heapq.heappop(self.queue)
+                self.cancelled.discard(event.eid)
+                continue
+            return event
+        return None
+
+    def pop(self) -> Event:
+        event = self.head()
+        if event is None:
+            raise ProtocolError(f"pop on empty queue of {self.lp.name}")
+        heapq.heappop(self.queue)
+        return event
+
+    def queue_min_time(self) -> VirtualTime:
+        event = self.head()
+        return event.time if event is not None else INFINITY
+
+    # ------------------------------------------------------------------
+    # Mode-dependent views
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> VirtualTime:
+        return self.lp.now
+
+    def rollback_ratio(self) -> float:
+        if self.window_executed == 0:
+            return 0.0
+        return self.window_squashed / self.window_executed
+
+    def reset_window(self) -> None:
+        self.window_executed = 0
+        self.window_squashed = 0
+        self.blocked_streak = 0
+
+class Processor:
+    """One modelled processor: owns LP runtimes and executes the protocol.
+
+    The processor charges every action to its model-time ``clock`` using
+    the machine's :class:`CostModel`.  Message routing goes through the
+    ``route`` callback installed by the machine (which decides local
+    vs. remote and charges accordingly).
+    """
+
+    def __init__(self, index: int, cost: CostModel,
+                 user_consistent: bool = False,
+                 use_lookahead: bool = False,
+                 adapt: Optional[AdaptPolicy] = None,
+                 checkpoint_interval: int = 1,
+                 lazy_cancellation: bool = False) -> None:
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.index = index
+        self.cost = cost
+        self.user_consistent = user_consistent
+        self.use_lookahead = use_lookahead
+        self.adapt = adapt or AdaptPolicy()
+        #: Snapshot every k-th event per LP (1 = the paper's per-event
+        #: state saving).  Larger intervals trade rollback cost
+        #: (coast-forward replay) for memory and snapshot time — the
+        #: classic Time Warp checkpointing trade-off.
+        self.checkpoint_interval = checkpoint_interval
+        #: Lazy cancellation (one of the "advanced optimistic
+        #: approaches" the paper cites): rollbacks withhold
+        #: antimessages; a re-execution that regenerates an identical
+        #: message reuses the original in place, and only messages the
+        #: new execution path provably cannot regenerate are cancelled.
+        self.lazy_cancellation = lazy_cancellation
+        self.clock = 0.0
+        self.runtimes: Dict[int, LPRuntime] = {}
+        #: Inbox of (deliver_at, seq, event) from remote processors.
+        self.inbox: List[Tuple[float, int, Event]] = []
+        #: Same-processor messages awaiting delivery (drained in act();
+        #: a FIFO queue instead of recursive delivery keeps rollback
+        #: cascades iterative and preserves send order).
+        self.local_fifo = deque()
+        #: Runtimes with a queued head, keyed for lowest-timestamp-first.
+        self.ready: List[Tuple[tuple, int]] = []
+        self.blocked: Set[int] = set()
+        self.stats = RunStats()
+        # Installed by the machine:
+        self.route: Callable[[Event], None] = lambda event: None
+        self.runtime_of: Callable[[int], LPRuntime] = None  # type: ignore
+        self.gvt_bound: VirtualTime = MINUS_INFINITY
+        self.until: Optional[int] = None
+        self.lookahead_of: Callable[[int, int], Optional[Tuple[int, int]]] \
+            = lambda src, dst: None
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def adopt(self, runtime: LPRuntime) -> None:
+        self.runtimes[runtime.lp.lp_id] = runtime
+
+    def seed(self, event: Event) -> None:
+        """Insert an initial event without charging model time."""
+        self.deliver(event)
+        self.drain_local()
+
+    # ------------------------------------------------------------------
+    # Readiness bookkeeping
+    # ------------------------------------------------------------------
+    def _arm(self, runtime: LPRuntime) -> None:
+        """(Re-)insert a runtime into the ready heap for its queue head."""
+        lp_id = runtime.lp.lp_id
+        self.blocked.discard(lp_id)
+        head = runtime.head()
+        if head is not None:
+            heapq.heappush(self.ready, (head.sort_key(), lp_id))
+
+    def rearm_blocked(self) -> None:
+        """After a GVT advance, blocked conservative LPs may be safe."""
+        for lp_id in list(self.blocked):
+            self._arm(self.runtimes[lp_id])
+
+    def has_work_at(self) -> float:
+        """Earliest model time at which this processor can act.
+
+        ``clock`` if it has a (possibly) ready runtime; otherwise the
+        earliest inbox delivery; +inf when fully asleep.
+        """
+        if self.ready or self.local_fifo:
+            return self.clock
+        if self.inbox:
+            return max(self.clock, self.inbox[0][0])
+        return float("inf")
+
+    # ------------------------------------------------------------------
+    # One scheduling step (called by the machine)
+    # ------------------------------------------------------------------
+    def act(self) -> bool:
+        """Ingest due messages and execute at most one event.
+
+        Returns True if any event was executed (progress made).
+        """
+        if not self.ready and not self.local_fifo and self.inbox:
+            self.clock = max(self.clock, self.inbox[0][0])
+        self._ingest()
+        progressed = self._execute_one()
+        self.drain_local()
+        return progressed
+
+    def _ingest(self) -> None:
+        self.drain_local()
+        while self.inbox and self.inbox[0][0] <= self.clock:
+            _at, _seq, event = heapq.heappop(self.inbox)
+            self.clock += self.cost.remote_recv
+            self.deliver(event)
+            self.drain_local()
+
+    def drain_local(self) -> None:
+        """Deliver queued same-processor messages (iteratively)."""
+        while self.local_fifo:
+            self.deliver(self.local_fifo.popleft())
+
+    # ------------------------------------------------------------------
+    # Delivery (local or from the fabric)
+    # ------------------------------------------------------------------
+    def deliver(self, event: Event) -> None:
+        runtime = self.runtimes[event.dst]
+        self._note_channel_clock(runtime, event)
+        if event.kind is EventKind.NULL:
+            self._arm(runtime)
+            return
+        if event.sign > 0:
+            self._deliver_positive(runtime, event)
+        else:
+            self._deliver_negative(runtime, event)
+
+    def _note_channel_clock(self, runtime: LPRuntime, event: Event) -> None:
+        """Update the conservative promise for the event's channel.
+
+        The promise epoch comes from the *message* (stamped by the fabric
+        at send time), never from the sender's current state: a message
+        sent speculatively must not masquerade as a conservative promise
+        just because the sender switched modes before it was delivered.
+        """
+        if event.src == event.dst or event.src not in runtime.preds:
+            # Self events and external stimulus injections carry no
+            # channel promise; only declared channels have clocks.
+            return
+        if event.epoch < 0:
+            return  # speculative send or antimessage: no promise
+        promise = event.time if event.kind is EventKind.NULL \
+            else event.send_time
+        stored = runtime.channel_clocks.get(event.src)
+        if stored is None or stored[0] < event.epoch:
+            runtime.channel_clocks[event.src] = (event.epoch, promise)
+        elif stored[0] == event.epoch and promise > stored[1]:
+            runtime.channel_clocks[event.src] = (event.epoch, promise)
+
+    def _deliver_positive(self, runtime: LPRuntime, event: Event) -> None:
+        pending = runtime.negatives.pop(event.eid, None)
+        if pending is not None:
+            self.stats.annihilations += 1
+            return  # the antimessage was waiting for this positive
+        if runtime.processed and runtime.mode is SyncMode.OPTIMISTIC:
+            last_time = runtime.processed[-1].event.time
+            is_straggler = (event.time <= last_time if self.user_consistent
+                            else event.time < last_time)
+            if is_straggler:
+                index = self._first_entry_not_before(runtime, event.time)
+                self._rollback(runtime, index)
+        elif runtime.mode is SyncMode.CONSERVATIVE:
+            if event.time < runtime.lp.now:
+                raise ProtocolError(
+                    f"conservative LP {runtime.lp.name} at {runtime.lp.now} "
+                    f"received straggler {event}")
+        runtime.push(event)
+        self._arm(runtime)
+
+    def _deliver_negative(self, runtime: LPRuntime, event: Event) -> None:
+        head_match = any(e.eid == event.eid for _k, e in runtime.queue)
+        if head_match:
+            runtime.cancelled.add(event.eid)
+            self.stats.annihilations += 1
+            self._arm(runtime)
+            return
+        for index, entry in enumerate(runtime.processed):
+            if entry.event.eid == event.eid:
+                # The rollback re-queues the cancelled event along with the
+                # other squashed ones; the cancelled-set entry annihilates
+                # that single re-queued copy lazily.
+                self._rollback(runtime, index)
+                runtime.cancelled.add(event.eid)
+                self.stats.annihilations += 1
+                self._arm(runtime)
+                return
+        # The positive has not arrived yet (possible across processors).
+        runtime.negatives[event.eid] = event
+
+    def _first_entry_not_before(self, runtime: LPRuntime,
+                                time: VirtualTime) -> int:
+        """Index of the first processed entry to squash for a straggler.
+
+        Arbitrary model: squash entries with a *strictly greater*
+        timestamp (equal-time events commute).  User-consistent model:
+        squash equal-time entries too, so the simultaneous set is
+        re-processed together.
+        """
+        entries = runtime.processed
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.user_consistent:
+                before = entries[mid].event.time < time
+            else:
+                before = entries[mid].event.time <= time
+            if before:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # Rollback (Time Warp)
+    # ------------------------------------------------------------------
+    def _rollback(self, runtime: LPRuntime, index: int) -> None:
+        entries = runtime.processed
+        if index >= len(entries):
+            return
+        squashed = entries[index:]
+        del entries[index:]
+        first = squashed[0]
+        if first.pre_snapshot is not None:
+            runtime.lp.restore(first.pre_snapshot)
+            runtime.lp.now = first.pre_now
+        else:
+            # Interval checkpointing: land on the nearest earlier
+            # snapshot and coast forward — silently re-execute the
+            # retained entries up to the rollback target.  Their outputs
+            # were already sent and remain valid (only squashed entries'
+            # messages get cancelled), and the LPs are deterministic, so
+            # replay rebuilds the exact pre-straggler state.
+            base = len(entries) - 1
+            while entries[base].pre_snapshot is None:
+                base -= 1
+            anchor = entries[base]
+            runtime.lp.restore(anchor.pre_snapshot)
+            runtime.lp.now = anchor.pre_now
+            for entry in entries[base:]:
+                runtime.lp.now = entry.event.time
+                runtime.lp.simulate(entry.event)
+                runtime.lp.drain_outbox()  # duplicates; discard
+                self.clock += self.cost.event
+                self.stats.coast_forward_events += 1
+        # Force a snapshot on the next execution: rollback hotspots
+        # should not pay the coast-forward replay repeatedly.
+        runtime.since_snapshot = 10**9
+        self.clock += (self.cost.rollback_fixed
+                       + self.cost.rollback_per_event * len(squashed))
+        self.stats.rollbacks += 1
+        lp_id = runtime.lp.lp_id
+        for entry in squashed:
+            runtime.push(entry.event)
+            runtime.squashed += 1
+            runtime.window_squashed += 1
+            self.stats.events_rolled_back += 1
+            for sent in entry.sent:
+                # Lazy cancellation only withholds CROSS-LP messages —
+                # that is where the antimessage traffic it saves lives.
+                # Self-messages are cancelled eagerly: a withheld
+                # cancellation for an event in this LP's own queue/log,
+                # which the very rollbacks that withhold it keep
+                # rewriting, has no stable owner to reconcile against.
+                if self.lazy_cancellation and sent.dst != lp_id:
+                    runtime.lazy_pending.append(sent)
+                else:
+                    self.stats.antimessages += 1
+                    self.route(sent.antimessage())
+        self._arm(runtime)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute_one(self) -> bool:
+        while self.ready:
+            key, lp_id = heapq.heappop(self.ready)
+            runtime = self.runtimes[lp_id]
+            head = runtime.head()
+            if head is None:
+                continue
+            if head.sort_key() != key:
+                # Stale entry: the queue changed; re-arm with the truth.
+                self._arm(runtime)
+                continue
+            if self.until is not None and head.time.pt > self.until:
+                # Beyond the simulation horizon; park it unarmed.
+                continue
+            if not self._safe(runtime, head):
+                self.blocked.add(lp_id)
+                runtime.blocked_streak += 1
+                self.stats.blocked_polls += 1
+                if self.use_lookahead:
+                    self._send_nulls(runtime)
+                self._maybe_go_optimistic(runtime)
+                continue
+            self._execute(runtime, runtime.pop())
+            return True
+        return False
+
+    def _safe(self, runtime: LPRuntime, event: Event) -> bool:
+        if runtime.mode is SyncMode.OPTIMISTIC:
+            return True
+        bound = self._input_bound(runtime)
+        if self.user_consistent:
+            return event.time < bound
+        return event.time <= bound
+
+    def _input_bound(self, runtime: LPRuntime) -> VirtualTime:
+        """Lower bound on this LP's future arrivals.
+
+        The channel part is the min over input channels of the channel's
+        promise (GVT for optimistic/stale senders).  The distance-based
+        ``release_floor`` computed by the machine's global rounds is an
+        independent valid bound; the tighter (larger) one wins.
+        """
+        bound = INFINITY
+        for src in runtime.preds:
+            sender = self.runtime_of(src)
+            stored = runtime.channel_clocks.get(src)
+            if (sender.mode is SyncMode.CONSERVATIVE and stored is not None
+                    and stored[0] == sender.cons_epoch):
+                promise = max(stored[1], self.gvt_bound)
+            else:
+                promise = self.gvt_bound
+            if promise < bound:
+                bound = promise
+        return max(bound, runtime.release_floor)
+
+    def _execute(self, runtime: LPRuntime, event: Event) -> None:
+        lp = runtime.lp
+        optimistic = runtime.mode is SyncMode.OPTIMISTIC
+        if optimistic:
+            take = (not runtime.processed
+                    or runtime.since_snapshot
+                    >= self.checkpoint_interval - 1)
+            if take:
+                snapshot = lp.snapshot()
+                self.clock += self.cost.snapshot
+                self.stats.snapshots += 1
+                runtime.since_snapshot = 0
+            else:
+                snapshot = None
+                runtime.since_snapshot += 1
+            entry = _Entry(event, snapshot, lp.now, [])
+        lp.now = event.time
+        lp.simulate(event)
+        out = lp.drain_outbox()
+        self.clock += self.cost.event
+        self.stats.count_execution(lp.lp_id)
+        runtime.executed += 1
+        runtime.window_executed += 1
+        runtime.since_switch += 1
+        runtime.blocked_streak = 0
+        if self.lazy_cancellation and runtime.lazy_pending:
+            to_route, sent_record = self._lazy_filter(runtime, out)
+        else:
+            to_route = sent_record = out
+        if optimistic:
+            entry.sent = sent_record
+            runtime.processed.append(entry)
+        else:
+            runtime.committed += 1
+            self.stats.events_committed += 1
+            self.stats.final_time = max(self.stats.final_time, event.time)
+        for message in to_route:
+            self.route(message)
+        if self.lazy_cancellation and runtime.lazy_pending:
+            self._lazy_cancel_passed(runtime)
+        if self.use_lookahead and runtime.mode is SyncMode.CONSERVATIVE:
+            self._send_nulls(runtime)
+        self._maybe_go_conservative(runtime)
+        self._arm(runtime)
+
+    # ------------------------------------------------------------------
+    # Lazy cancellation
+    # ------------------------------------------------------------------
+    def _lazy_filter(self, runtime: LPRuntime, out: List[Event]):
+        """Match regenerated messages against withheld cancellations.
+
+        A re-execution that produces a message identical (destination,
+        timestamp, kind, payload) to a withheld one *reuses* it: the
+        receiver already has the original, so nothing is sent — and the
+        processed-entry records the ORIGINAL event, so a future rollback
+        cancels the message the receiver actually holds.
+        """
+        to_route: List[Event] = []
+        sent_record: List[Event] = []
+        for message in out:
+            match = None
+            for i, pending in enumerate(runtime.lazy_pending):
+                if (pending.dst == message.dst
+                        and pending.time == message.time
+                        and pending.kind == message.kind
+                        and pending.payload == message.payload):
+                    match = runtime.lazy_pending.pop(i)
+                    break
+            if match is not None:
+                sent_record.append(match)
+                self.stats.lazy_reused += 1
+            else:
+                to_route.append(message)
+                sent_record.append(message)
+        return to_route, sent_record
+
+    def _lazy_cancel_passed(self, runtime: LPRuntime) -> None:
+        """Cancel withheld messages the LP has provably moved past.
+
+        Once the LP's virtual time is strictly beyond a withheld
+        message's send time, no future execution can regenerate it
+        (emissions never predate the event that causes them).
+        """
+        now = runtime.lp.now
+        keep: List[Event] = []
+        for pending in runtime.lazy_pending:
+            if pending.send_time < now:
+                self.stats.antimessages += 1
+                self.route(pending.antimessage())
+            else:
+                keep.append(pending)
+        runtime.lazy_pending = keep
+
+    def flush_lazy(self, runtime: LPRuntime, bound: VirtualTime) -> None:
+        """Cancel withheld messages below ``bound`` (GVT flush).
+
+        Once GVT passes a withheld message's send time, the LP can never
+        execute at or below it again, so regeneration is impossible.
+        """
+        if not runtime.lazy_pending:
+            return
+        keep: List[Event] = []
+        for pending in runtime.lazy_pending:
+            if pending.send_time < bound:
+                self.stats.antimessages += 1
+                self.route(pending.antimessage())
+            else:
+                keep.append(pending)
+        runtime.lazy_pending = keep
+
+    # ------------------------------------------------------------------
+    # Null messages (conservative with lookahead)
+    # ------------------------------------------------------------------
+    def _send_nulls(self, runtime: LPRuntime) -> None:
+        # Two floors bound this LP's future outputs:
+        #  * events still arriving on input channels produce outputs at
+        #    least one LP-lookahead later than the channel bound;
+        #  * events already queued (including self-scheduled timeouts and
+        #    run events, which emit at their own timestamp) bound outputs
+        #    with NO lookahead added — a process resuming on a timeout
+        #    assigns signals at exactly the timeout's virtual time.
+        bound = self._input_bound(runtime)
+        queue_floor = runtime.queue_min_time()
+        # Events already emitted but not yet delivered (sitting in the
+        # local FIFO) also bound this LP's future outputs: a process that
+        # just scheduled its own run/timeout will emit at that event's
+        # exact virtual time, possibly below bound + lookahead.
+        lp_id = runtime.lp.lp_id
+        for pending in self.local_fifo:
+            if pending.dst == lp_id and pending.sign > 0 \
+                    and pending.time < queue_floor:
+                queue_floor = pending.time
+        if bound == INFINITY and queue_floor == INFINITY:
+            return
+        for dst in runtime.succs:
+            lookahead = self.lookahead_of(runtime.lp.lp_id, dst)
+            if lookahead is None:
+                continue
+            dpt, dlt = lookahead
+            if bound == INFINITY:
+                shifted = INFINITY
+            elif dpt > 0:
+                shifted = VirtualTime(bound.pt + dpt, 0)
+            else:
+                shifted = VirtualTime(bound.pt, bound.lt + dlt)
+            promise = min(shifted, queue_floor)
+            last = runtime.last_null_promise.get(dst)
+            if last is not None and promise <= last:
+                continue
+            runtime.last_null_promise[dst] = promise
+            self.stats.null_messages += 1
+            self.clock += self.cost.null_msg
+            null = Event(time=promise, kind=EventKind.NULL, dst=dst,
+                         src=runtime.lp.lp_id, send_time=runtime.lp.now)
+            self.route(null)
+
+    # ------------------------------------------------------------------
+    # Dynamic adaptation
+    # ------------------------------------------------------------------
+    def _maybe_go_conservative(self, runtime: LPRuntime) -> None:
+        if (not runtime.dynamic
+                or runtime.mode is not SyncMode.OPTIMISTIC
+                or runtime.since_switch < self.adapt.dwell
+                or runtime.window_executed < self.adapt.window):
+            return
+        if runtime.rollback_ratio() <= self.adapt.rollback_ratio_high:
+            runtime.reset_window()
+            return
+        # Roll back to the provably-safe horizon, then run conservatively.
+        bound = max(self._input_bound(runtime), self.gvt_bound)
+        index = self._first_safe_cut(runtime, bound)
+        self._rollback(runtime, index)
+        self._commit_log(runtime)
+        runtime.mode = SyncMode.CONSERVATIVE
+        runtime.cons_epoch += 1
+        runtime.since_switch = 0
+        runtime.reset_window()
+        self.clock += self.cost.mode_switch
+        self.stats.mode_switches += 1
+        self._arm(runtime)
+
+    def _maybe_go_optimistic(self, runtime: LPRuntime) -> None:
+        # No dwell gate here: the dwell counts *executions*, and a
+        # conservative LP that blocks forever never executes — it must
+        # still be able to escape.  Flapping is bounded by the dwell on
+        # the opposite (OPT -> CONS) switch.
+        if (not runtime.dynamic
+                or runtime.mode is not SyncMode.CONSERVATIVE
+                or not runtime.lp.checkpointable
+                or runtime.blocked_streak < self.adapt.blocked_polls_high):
+            return
+        runtime.mode = SyncMode.OPTIMISTIC
+        runtime.since_switch = 0
+        runtime.reset_window()
+        self.clock += self.cost.mode_switch
+        self.stats.mode_switches += 1
+        self._arm(runtime)
+
+    def _first_safe_cut(self, runtime: LPRuntime,
+                        bound: VirtualTime) -> int:
+        """First log entry that may NOT be committed at a mode switch.
+
+        Strictly below the bound only: an antimessage may still arrive
+        *at* the bound (GVT floors at a withheld or in-flight
+        cancellation's own timestamp, inclusively), and a committed
+        entry can never be cancelled.  Entries at exactly the bound are
+        rolled back and re-executed instead.
+        """
+        entries = runtime.processed
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid].event.time < bound:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _commit_log(self, runtime: LPRuntime) -> None:
+        """Finalize all remaining processed entries (now irrevocable)."""
+        for entry in runtime.processed:
+            runtime.committed += 1
+            self.stats.events_committed += 1
+            self.stats.final_time = max(self.stats.final_time,
+                                        entry.event.time)
+        runtime.processed.clear()
+
+    # ------------------------------------------------------------------
+    # GVT support (driven by the machine)
+    # ------------------------------------------------------------------
+    def local_min_time(self) -> VirtualTime:
+        """min timestamp over queued events and parked negatives."""
+        low = INFINITY
+        for runtime in self.runtimes.values():
+            t = runtime.queue_min_time()
+            if t < low:
+                low = t
+            for negative in runtime.negatives.values():
+                if negative.time < low:
+                    low = negative.time
+            # A withheld (lazy) cancellation may still become an
+            # antimessage at its own timestamp: GVT must not pass it.
+            for pending in runtime.lazy_pending:
+                if pending.time < low:
+                    low = pending.time
+        for _at, _seq, event in self.inbox:
+            if event.time < low:
+                low = event.time
+        return low
+
+    def fossil_collect(self, gvt: VirtualTime) -> None:
+        """Commit and drop log entries strictly below GVT.
+
+        One snapshot at or below GVT must survive as the restore anchor,
+        which is automatic here: entries at or after GVT keep their
+        ``pre_snapshot``, and an LP can never be rolled back below GVT.
+        """
+        self.clock += self.cost.fossil
+        for runtime in self.runtimes.values():
+            entries = runtime.processed
+            cut = 0
+            while cut < len(entries) and entries[cut].event.time < gvt:
+                cut += 1
+            # Interval checkpointing: the first retained entry must be a
+            # coast-forward anchor (have a snapshot), otherwise a future
+            # rollback into the retained region would have no base state.
+            # (Dropping the whole log is fine: the next execution takes
+            # a fresh snapshot on an empty log.)
+            while 0 < cut < len(entries) and \
+                    entries[cut].pre_snapshot is None:
+                cut -= 1
+            if cut:
+                for entry in entries[:cut]:
+                    runtime.committed += 1
+                    self.stats.events_committed += 1
+                    self.stats.final_time = max(self.stats.final_time,
+                                                entry.event.time)
+                del entries[:cut]
+                self.stats.fossils_collected += cut

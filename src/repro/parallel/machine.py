@@ -1,0 +1,512 @@
+"""The modelled multiprocessor: deterministic parallel-machine simulation.
+
+The machine executes a :class:`~repro.core.model.Model` over ``P``
+modelled processors.  It is itself a discrete-event simulation in *model
+time* (cost units): at every step the processor that can act earliest
+does one unit of protocol work, and inter-processor messages arrive after
+a latency.  Determinism comes from the strict (time, index) scheduling
+order, so the same run always produces the same makespan — and the same
+committed simulation results as the sequential engine, which the test
+suite checks exhaustively.
+
+Global services implemented here:
+
+* **GVT** — computed exactly (the machine sees all queues and in-flight
+  messages).  Periodic rounds advance the commit horizon used both for
+  fossil collection and as the safety bound that lets conservative LPs
+  accept events from optimistic senders.
+* **Deadlock recovery** — the paper's protocol is lookahead-free: when no
+  processor can act but unprocessed events remain, a global
+  synchronization (modelled as a barrier costing ``gvt_round`` on every
+  processor) computes the minimum pending timestamp; events at that
+  minimum become safe and the simulation resumes.  Under the
+  user-consistent comparison model without lookahead this degenerates to
+  (nearly) one global round per simultaneous set — the overhead the
+  paper's Fig. 4 quantifies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.event import Event
+from ..core.model import Model, SyncMode
+from ..core.stats import RunStats
+from ..core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
+from .cost import SHARED_MEMORY, CostModel
+from .engine import AdaptPolicy, LPRuntime, Processor, ProtocolError
+from .partition import PARTITIONERS, Partition
+
+#: Named protocol configurations (paper Sec. 4).
+PROTOCOLS = ("optimistic", "conservative", "mixed", "dynamic")
+
+
+@dataclass
+class ParallelOutcome:
+    """Result of one modelled parallel run."""
+
+    stats: RunStats
+    #: Model-time makespan (max processor clock at completion).
+    makespan: float
+    #: Final GVT (== furthest committed virtual time).
+    gvt: VirtualTime
+    processors: int
+    #: Final clock of each processor (load-balance observation).
+    clocks: List[float]
+    #: Channels that crossed processor boundaries.
+    remote_channels: int
+
+
+class ParallelMachine:
+    """Co-simulation of ``P`` processors running the mixed protocol."""
+
+    def __init__(self, model: Model, processors: int,
+                 protocol: str = "dynamic",
+                 cost: CostModel = SHARED_MEMORY,
+                 partition: Union[str, Partition, Callable] = "round_robin",
+                 user_consistent: bool = False,
+                 lookahead: Optional[str] = None,
+                 gvt_interval: int = 0,
+                 adapt: Optional[AdaptPolicy] = None,
+                 checkpoint_interval: int = 1,
+                 lazy_cancellation: bool = False,
+                 until: Optional[int] = None) -> None:
+        model.validate()
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        if protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}; "
+                             f"choose from {PROTOCOLS}")
+        self.model = model
+        self.cost = cost
+        self.protocol = protocol
+        self.user_consistent = user_consistent
+        self.lookahead = lookahead
+        self.until = until
+        self.placement = self._resolve_partition(partition, processors)
+        self.procs: List[Processor] = [
+            Processor(i, cost, user_consistent=user_consistent,
+                      use_lookahead=lookahead is not None, adapt=adapt,
+                      checkpoint_interval=checkpoint_interval,
+                      lazy_cancellation=lazy_cancellation)
+            for i in range(processors)
+        ]
+        self.gvt = MINUS_INFINITY
+        self._fabric_seq = itertools.count()
+        self._runtimes: Dict[int, LPRuntime] = {}
+        # GVT cadence: every `gvt_interval` executed events (0 = auto).
+        # A second, blocking-driven trigger keeps conservative LPs fed in
+        # mixed populations: when blocked polls accumulate faster than
+        # events, the commit horizon is what they are starving for.
+        self.gvt_interval = gvt_interval or max(64, 16 * processors)
+        self.blocked_poll_trigger = 8 * processors
+        # The blocking-driven trigger is rate-limited: in an all-
+        # conservative population every round re-arms hundreds of LPs
+        # that immediately re-block, and an unthrottled trigger then
+        # fires a round per event (a round storm that erases all
+        # parallelism).
+        self.blocked_gvt_min_interval = max(24, 3 * processors)
+        self._since_gvt = 0
+        self._blocked_at_gvt = 0
+        self._peak_speculative = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _resolve_partition(self, partition, processors: int) -> Partition:
+        if isinstance(partition, str):
+            return PARTITIONERS[partition](self.model, processors)
+        if callable(partition):
+            return partition(self.model, processors)
+        return dict(partition)
+
+    def _mode_for(self, lp_id: int) -> SyncMode:
+        if self.protocol == "optimistic":
+            return SyncMode.OPTIMISTIC
+        if self.protocol == "conservative":
+            return SyncMode.CONSERVATIVE
+        if self.protocol == "dynamic":
+            return SyncMode.DYNAMIC
+        # "mixed": the static per-LP assignment recorded in the model
+        # (the paper's heuristic: synchronous components conservative,
+        # asynchronous ones optimistic).
+        mode = self.model.sync_modes[lp_id]
+        return SyncMode.OPTIMISTIC if mode is SyncMode.DYNAMIC else mode
+
+    def _lookahead_for(self, src: int, dst: int) -> Optional[Tuple[int, int]]:
+        if self.lookahead is None:
+            return None
+        channel = self.model.channels.get((src, dst))
+        if channel is None:
+            return None
+        if self.lookahead == "vhdl":
+            # Every VHDL kernel channel advances the logical clock by at
+            # least one phase from cause to effect.
+            return (0, 1)
+        if self.lookahead == "delays":
+            if channel.lookahead is None:
+                return (0, 1)
+            la = channel.lookahead
+            return (la.pt, la.lt) if isinstance(la, VirtualTime) else la
+        raise ValueError(f"unknown lookahead policy {self.lookahead!r}")
+
+    def _build(self) -> None:
+        for lp in self.model.lps:
+            runtime = LPRuntime(lp, self._mode_for(lp.lp_id),
+                                self.model.predecessors(lp.lp_id),
+                                self.model.successors(lp.lp_id))
+            self._runtimes[lp.lp_id] = runtime
+            self.procs[self.placement[lp.lp_id]].adopt(runtime)
+        for proc in self.procs:
+            proc.runtime_of = self._runtimes.__getitem__
+            proc.route = self._make_route(proc)
+            proc.until = self.until
+            proc.lookahead_of = self._lookahead_for
+            proc.gvt_bound = self.gvt
+        for lp in self.model.lps:
+            runtime = self._runtimes[lp.lp_id]
+            for event in lp.init_events():
+                if runtime.mode is SyncMode.CONSERVATIVE:
+                    event = event.stamped(runtime.cons_epoch)
+                self.procs[self.placement[event.dst]].seed(event)
+
+    def _make_route(self, sender: Processor) -> Callable[[Event], None]:
+        def route(event: Event) -> None:
+            # Stamp the conservative-promise epoch at send time: only a
+            # message leaving a (currently) conservative LP is a promise
+            # its receiver may build safety bounds on.
+            src_rt = self._runtimes.get(event.src)
+            if (event.sign > 0 and src_rt is not None
+                    and src_rt.mode is SyncMode.CONSERVATIVE):
+                event = event.stamped(src_rt.cons_epoch)
+            dst_proc = self.procs[self.placement[event.dst]]
+            if dst_proc is sender:
+                sender.clock += self.cost.local_msg
+                sender.local_fifo.append(event)
+            else:
+                sender.clock += self.cost.remote_send
+                deliver_at = sender.clock + self.cost.remote_latency
+                heapq.heappush(dst_proc.inbox,
+                               (deliver_at, next(self._fabric_seq), event))
+        return route
+
+    # ------------------------------------------------------------------
+    # Global services
+    # ------------------------------------------------------------------
+    def compute_gvt(self) -> VirtualTime:
+        """Exact GVT: min over all queued and in-flight event times."""
+        low = INFINITY
+        for proc in self.procs:
+            t = proc.local_min_time()
+            if t < low:
+                low = t
+            for event in proc.local_fifo:
+                if event.time < low:
+                    low = event.time
+        return low
+
+    def _gvt_round(self, barrier: bool) -> None:
+        """Advance the commit horizon; optionally synchronize clocks.
+
+        Periodic rounds are asynchronous (Mattern-style, each processor
+        pays the token cost); deadlock recovery is a true barrier (every
+        processor waits for the slowest before the minimum is known).
+        """
+        if barrier:
+            fence = max(proc.clock for proc in self.procs)
+            for proc in self.procs:
+                proc.clock = fence + self.cost.gvt_round
+        else:
+            for proc in self.procs:
+                proc.clock += self.cost.gvt_round
+        gvt = self.compute_gvt()
+        if gvt > self.gvt:
+            self.gvt = gvt
+        self._note_speculative_peak()
+        self._refresh_release_floors()
+        for proc in self.procs:
+            proc.gvt_bound = self.gvt
+            proc.stats.gvt_rounds += 1
+            for runtime in proc.runtimes.values():
+                proc.flush_lazy(runtime, self.gvt)
+            proc.drain_local()
+            proc.fossil_collect(self.gvt)
+            proc.rearm_blocked()
+        self._since_gvt = 0
+        self._blocked_at_gvt = self._blocked_polls()
+
+    def _blocked_polls(self) -> int:
+        return sum(proc.stats.blocked_polls for proc in self.procs)
+
+    def _note_speculative_peak(self) -> None:
+        total = sum(len(runtime.processed)
+                    for proc in self.procs
+                    for runtime in proc.runtimes.values())
+        if total > self._peak_speculative:
+            self._peak_speculative = total
+
+    def _refresh_release_floors(self) -> None:
+        """Distance-based release bounds (bounded-lag refinement).
+
+        GVT alone releases only events *at* the global minimum, which for
+        the VHDL kernel means one delta phase per global round — exactly
+        the serialization the paper's conservative configuration avoids.
+        Because every kernel LP reacts to an arrival at least one phase
+        later (``react_lookahead_phases``), the earliest time anything
+        can still *arrive* at LP ``i`` is
+
+            A_i = min over predecessors j of B_j
+            B_j = min(m_j, min over predecessors k of B_k + react_la(j))
+
+        where ``m_j`` is the minimum timestamp queued at / in flight to
+        ``j``.  This is a multi-source shortest-path problem solved with
+        one Dijkstra sweep; the bounds remain valid until refreshed
+        (consuming events only raises them).  For LP classes with zero
+        declared lookahead the sweep degenerates to reachability, which
+        is still sound and still better than plain GVT.
+        """
+        import heapq as _heapq
+
+        potentials: Dict[int, VirtualTime] = {}
+        #: Undelivered messages are *future arrivals* at their target and
+        #: must cap its release floor directly — the predecessor's output
+        #: bound cannot stand in for a message already under way.
+        inflight_floor: Dict[int, VirtualTime] = {}
+
+        def note(lp_id: int, time: VirtualTime,
+                 arriving: bool = False) -> None:
+            current = potentials.get(lp_id)
+            if current is None or time < current:
+                potentials[lp_id] = time
+            if arriving:
+                current = inflight_floor.get(lp_id)
+                if current is None or time < current:
+                    inflight_floor[lp_id] = time
+
+        for proc in self.procs:
+            for lp_id, runtime in proc.runtimes.items():
+                t = runtime.queue_min_time()
+                if t != INFINITY:
+                    note(lp_id, t)
+                for negative in runtime.negatives.values():
+                    # A parked negative implies its positive twin is still
+                    # under way: treat it as a pending arrival.
+                    note(lp_id, negative.time, arriving=True)
+                for pending in runtime.lazy_pending:
+                    # A withheld cancellation may yet arrive at its
+                    # destination as an antimessage.
+                    note(pending.dst, pending.time, arriving=True)
+            for _at, _seq, event in proc.inbox:
+                note(event.dst, event.time, arriving=True)
+            for event in proc.local_fifo:
+                note(event.dst, event.time, arriving=True)
+
+        # Dijkstra over B (earliest future output/occupancy per LP).
+        settled: Dict[int, VirtualTime] = {}
+        heap = [(time, lp_id) for lp_id, time in potentials.items()]
+        _heapq.heapify(heap)
+        succ = self.model.successors
+        lps = self.model.lps
+        while heap:
+            time, lp_id = _heapq.heappop(heap)
+            if lp_id in settled:
+                continue
+            settled[lp_id] = time
+            for nxt in succ(lp_id):
+                if nxt in settled:
+                    continue
+                la = lps[nxt].react_lookahead_phases
+                candidate = VirtualTime(time.pt, time.lt + la) if la \
+                    else time
+                if candidate < potentials.get(nxt, INFINITY):
+                    potentials[nxt] = candidate
+                    _heapq.heappush(heap, (candidate, nxt))
+
+        preds = self.model.predecessors
+        for proc in self.procs:
+            for lp_id, runtime in proc.runtimes.items():
+                floor = inflight_floor.get(lp_id, INFINITY)
+                for j in preds(lp_id):
+                    b = settled.get(j, INFINITY)
+                    if b < floor:
+                        floor = b
+                if floor > runtime.release_floor:
+                    runtime.release_floor = floor
+
+    def _pending_work(self) -> bool:
+        """Any unprocessed event within the simulation horizon?"""
+        for proc in self.procs:
+            if proc.inbox or proc.local_fifo:
+                return True
+            for runtime in proc.runtimes.values():
+                if runtime.lazy_pending:
+                    return True  # withheld cancellations must resolve
+                head = runtime.head()
+                if head is None:
+                    continue
+                if self.until is None or head.time.pt <= self.until:
+                    return True
+        return False
+
+    def _force_minimum(self) -> bool:
+        """User-consistent dispensation: execute the single globally
+        minimal event despite the strict safety rule.
+
+        Without lookahead the user-consistent conservative model cannot
+        prove any simultaneous set complete; real systems serialize on a
+        global synchronization per step.  Returns True if an event ran.
+        """
+        best: Optional[Tuple[tuple, Processor, LPRuntime]] = None
+        for proc in self.procs:
+            for runtime in proc.runtimes.values():
+                head = runtime.head()
+                if head is None:
+                    continue
+                if self.until is not None and head.time.pt > self.until:
+                    continue
+                key = head.sort_key()
+                if best is None or key < best[0]:
+                    best = (key, proc, runtime)
+        if best is None:
+            return False
+        _key, proc, runtime = best
+        proc._execute(runtime, runtime.pop())
+        proc.drain_local()
+        return True
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_steps: Optional[int] = None) -> ParallelOutcome:
+        steps = 0
+        while True:
+            if max_steps is not None and steps >= max_steps:
+                raise ProtocolError(
+                    f"machine exceeded {max_steps} steps (livelock?)")
+            proc = self._next_processor()
+            if proc is None:
+                if not self._pending_work():
+                    break
+                before = self.gvt
+                self._gvt_round(barrier=True)
+                for p in self.procs:
+                    p.stats.deadlock_recoveries += 1
+                if self._next_processor() is None:
+                    # GVT alone did not unblock anything.  A withheld
+                    # lazy cancellation whose send time equals GVT can
+                    # pin it: with the whole machine stalled no event at
+                    # or below GVT can ever be generated again, so an
+                    # inclusive flush is sound, and its antimessages
+                    # restart the machine.
+                    if self._flush_lazy_at_gvt():
+                        continue
+                    # Otherwise: the user-consistent strictness or a
+                    # genuine stall.
+                    if not self._force_minimum():
+                        raise ProtocolError(
+                            "deadlock recovery failed to make progress "
+                            f"(gvt {before} -> {self.gvt})")
+                continue
+            if proc.act():
+                self._since_gvt += 1
+                steps += 1
+                due = self._since_gvt >= self.gvt_interval
+                blocked_due = (
+                    self._since_gvt >= self.blocked_gvt_min_interval
+                    and self._blocked_polls() - self._blocked_at_gvt
+                    >= self.blocked_poll_trigger)
+                if due or blocked_due:
+                    self._gvt_round(barrier=False)
+        return self._finish()
+
+    def _flush_lazy_at_gvt(self) -> bool:
+        """Cancel withheld lazy messages up to and including GVT.
+
+        Only called when the machine is fully stalled (see run()); the
+        inclusive bound is what makes progress when a withheld message's
+        own timestamp IS the GVT.
+        """
+        flushed = False
+        for proc in self.procs:
+            for runtime in proc.runtimes.values():
+                if not runtime.lazy_pending:
+                    continue
+                keep = []
+                for pending in runtime.lazy_pending:
+                    # Either bound suffices at a full stall.  A message
+                    # whose *receive* time pins GVT must be released
+                    # even though its sender might re-emit an identical
+                    # copy at exactly GVT later: cancel-plus-resend is
+                    # observably equivalent to reuse, so correctness is
+                    # unaffected — only the reuse optimization is lost
+                    # for that one message.
+                    if pending.send_time <= self.gvt \
+                            or pending.time <= self.gvt:
+                        proc.stats.antimessages += 1
+                        proc.route(pending.antimessage())
+                        flushed = True
+                    else:
+                        keep.append(pending)
+                runtime.lazy_pending = keep
+            proc.drain_local()
+        return flushed
+
+    def _next_processor(self) -> Optional[Processor]:
+        best = None
+        best_time = float("inf")
+        for proc in self.procs:
+            t = proc.has_work_at()
+            if t < best_time:
+                best = proc
+                best_time = t
+        return best
+
+    def _finish(self) -> ParallelOutcome:
+        # Commit everything that remains speculative: the run is over, no
+        # event can arrive anymore, so all processed work is final.
+        self._note_speculative_peak()
+        final_gvt = self.compute_gvt()  # INFINITY when fully drained
+        for proc in self.procs:
+            for runtime in proc.runtimes.values():
+                proc._commit_log(runtime)
+        stats = RunStats()
+        for proc in self.procs:
+            stats.merge(proc.stats)
+        stats.peak_speculative = self._peak_speculative
+        from .partition import cut_channels
+        return ParallelOutcome(
+            stats=stats,
+            makespan=max(proc.clock for proc in self.procs),
+            gvt=final_gvt,
+            processors=len(self.procs),
+            clocks=[proc.clock for proc in self.procs],
+            remote_channels=cut_channels(self.model, self.placement),
+        )
+
+
+def run_parallel(model: Model, processors: int,
+                 until: Optional[int] = None,
+                 protocol: str = "dynamic",
+                 cost: CostModel = SHARED_MEMORY,
+                 partition: Union[str, Partition, Callable] = "round_robin",
+                 user_consistent: bool = False,
+                 lookahead: Optional[str] = None,
+                 gvt_interval: int = 0,
+                 adapt: Optional[AdaptPolicy] = None,
+                 checkpoint_interval: int = 1,
+                 lazy_cancellation: bool = False,
+                 max_steps: Optional[int] = None) -> ParallelOutcome:
+    """Convenience wrapper: build a machine and run it to completion."""
+    machine = ParallelMachine(model, processors, protocol=protocol,
+                              cost=cost, partition=partition,
+                              user_consistent=user_consistent,
+                              lookahead=lookahead,
+                              gvt_interval=gvt_interval, adapt=adapt,
+                              checkpoint_interval=checkpoint_interval,
+                              lazy_cancellation=lazy_cancellation,
+                              until=until)
+    return machine.run(max_steps=max_steps)

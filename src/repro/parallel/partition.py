@@ -1,0 +1,98 @@
+"""LP-to-processor partitioning.
+
+The paper used "naive partitioning (equal number of LPs to each
+processor)", noting it caused occasional dips in the speedup curves, and
+remarks (Sec. 3.4) that the bi-partite process/signal topology could be
+exploited for better partitions.  We provide:
+
+* :func:`round_robin` — the paper's naive scheme (LP ``i`` to processor
+  ``i mod P``);
+* :func:`block` — contiguous blocks of LP ids (keeps locally-built
+  subcircuits together, since builders allocate ids in construction
+  order);
+* :func:`bfs_blocks` — topology-aware: a BFS over the (undirected)
+  channel graph assigns connected runs of LPs to the same processor,
+  cutting far fewer channels — the A1 ablation compares it against the
+  naive scheme.
+
+A partition is a dict ``lp_id -> processor index``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List
+
+from ..core.model import Model
+
+Partition = Dict[int, int]
+Partitioner = Callable[[Model, int], Partition]
+
+
+def round_robin(model: Model, processors: int) -> Partition:
+    """The paper's naive scheme: equal LP counts, no locality."""
+    return {lp.lp_id: lp.lp_id % processors for lp in model.lps}
+
+
+def block(model: Model, processors: int) -> Partition:
+    """Contiguous id ranges of (nearly) equal size."""
+    n = len(model)
+    base, extra = divmod(n, processors)
+    placement: Partition = {}
+    lp_id = 0
+    for proc in range(processors):
+        size = base + (1 if proc < extra else 0)
+        for _ in range(size):
+            placement[lp_id] = proc
+            lp_id += 1
+    return placement
+
+
+def bfs_blocks(model: Model, processors: int) -> Partition:
+    """Topology-aware blocks: BFS order over the channel graph.
+
+    Connected LPs land on the same processor far more often than under
+    round-robin, which slashes remote traffic on circuits whose structure
+    is mostly local (datapaths, filters).
+    """
+    n = len(model)
+    neighbours: List[List[int]] = [[] for _ in range(n)]
+    for src, dst in model.edges():
+        neighbours[src].append(dst)
+        neighbours[dst].append(src)
+    order: List[int] = []
+    seen = [False] * n
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for nxt in neighbours[node]:
+                if not seen[nxt]:
+                    seen[nxt] = True
+                    queue.append(nxt)
+    base, extra = divmod(n, processors)
+    placement: Partition = {}
+    index = 0
+    for proc in range(processors):
+        size = base + (1 if proc < extra else 0)
+        for _ in range(size):
+            placement[order[index]] = proc
+            index += 1
+    return placement
+
+
+PARTITIONERS: Dict[str, Partitioner] = {
+    "round_robin": round_robin,
+    "block": block,
+    "bfs": bfs_blocks,
+}
+
+
+def cut_channels(model: Model, placement: Partition) -> int:
+    """Number of channels crossing processor boundaries (quality metric)."""
+    return sum(1 for src, dst in model.edges()
+               if placement[src] != placement[dst])

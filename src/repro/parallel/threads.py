@@ -1,0 +1,275 @@
+"""Real-thread backend: the distributed kernel on actual OS threads.
+
+The modelled machine (machine.py) is how the benchmarks measure
+*speedup* — CPython's GIL makes wall-clock thread speedup unobtainable,
+as documented in DESIGN.md.  This backend exists for a different
+purpose: to demonstrate that the protocol really is a distributed
+algorithm — LPs partitioned over concurrently running workers that
+communicate only through message queues, with a stop-the-world
+coordinator standing in for the paper's global synchronization — and
+that it still commits exactly the sequential results.
+
+Scope: the static protocols (optimistic / conservative / mixed).  The
+dynamic mode is excluded because a receiver may sample a sender's mode
+while it is mid-switch; the modelled machine serializes those reads,
+real threads would need extra locking for no demonstrative gain.
+
+Locking discipline: each worker owns its processor's state and touches
+it under the processor's big lock; cross-processor routing only ever
+touches the *target's inbox lock*, a leaf lock that is never held while
+acquiring anything else — so there is no lock-order cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+from ..core.event import Event
+from ..core.model import Model, SyncMode
+from ..core.stats import RunStats
+from ..core.vtime import MINUS_INFINITY, VirtualTime
+from .cost import SHARED_MEMORY
+from .engine import Processor, ProtocolError
+from .machine import ParallelMachine
+from .partition import Partition
+
+
+@dataclass
+class ThreadedOutcome:
+    stats: RunStats
+    gvt: VirtualTime
+    processors: int
+    gvt_rounds: int
+
+
+class _Worker:
+    """One thread driving one Processor."""
+
+    def __init__(self, processor: Processor) -> None:
+        self.processor = processor
+        self.lock = threading.Lock()
+        self.inbox_lock = threading.Lock()
+        self.pending: List[Event] = []
+        self.idle = threading.Event()
+        self.thread: Optional[threading.Thread] = None
+
+    def post(self, event: Event) -> None:
+        with self.inbox_lock:
+            self.pending.append(event)
+        self.idle.clear()
+
+    def drain_pending(self) -> bool:
+        with self.inbox_lock:
+            batch, self.pending = self.pending, []
+        for event in batch:
+            self.processor.deliver(event)
+            self.processor.drain_local()
+        return bool(batch)
+
+
+class ThreadedMachine:
+    """Run a Model on real threads; commits identical results."""
+
+    def __init__(self, model: Model, processors: int,
+                 protocol: str = "optimistic",
+                 partition: Union[str, Partition, Callable] = "round_robin",
+                 until: Optional[int] = None,
+                 gvt_interval_s: float = 0.002) -> None:
+        if protocol == "dynamic":
+            raise ValueError(
+                "the threaded backend supports static protocols only; "
+                "use the modelled machine for the dynamic configuration")
+        model.validate()
+        self.model = model
+        self.until = until
+        self.gvt = MINUS_INFINITY
+        self.gvt_interval_s = gvt_interval_s
+        self.gvt_rounds = 0
+        self._stop = threading.Event()
+        self._pause = threading.Event()
+        self._paused = threading.Barrier(processors + 1)
+        self._error: Optional[BaseException] = None
+        # Build processors exactly like the modelled machine, then strip
+        # the model-time aspects we do not need.
+        inner = ParallelMachine(model, processors, protocol=protocol,
+                                cost=SHARED_MEMORY, partition=partition,
+                                until=until)
+        self._inner = inner
+        self.workers = [_Worker(proc) for proc in inner.procs]
+        for worker in self.workers:
+            proc = worker.processor
+            proc.route = self._make_route(proc)
+
+    def _make_route(self, sender: Processor):
+        placement = self._inner.placement
+        runtimes = self._inner._runtimes
+
+        def route(event: Event) -> None:
+            src_rt = runtimes.get(event.src)
+            if (event.sign > 0 and src_rt is not None
+                    and src_rt.mode is SyncMode.CONSERVATIVE):
+                event = event.stamped(src_rt.cons_epoch)
+            target = self.workers[placement[event.dst]]
+            if target.processor is sender:
+                sender.local_fifo.append(event)
+            else:
+                target.post(event)
+        return route
+
+    # ------------------------------------------------------------------
+    def run(self, timeout_s: float = 120.0) -> ThreadedOutcome:
+        for worker in self.workers:
+            worker.thread = threading.Thread(
+                target=self._worker_loop, args=(worker,), daemon=True)
+            worker.thread.start()
+        try:
+            self._coordinate(timeout_s)
+        finally:
+            self._stop.set()
+            self._paused.abort()
+            for worker in self.workers:
+                if worker.thread is not None:
+                    worker.thread.join(timeout=5.0)
+        if self._error is not None:
+            raise self._error
+        return self._finish()
+
+    def _worker_loop(self, worker: _Worker) -> None:
+        try:
+            while not self._stop.is_set():
+                if self._pause.is_set():
+                    # Double rendezvous: all workers pause, the
+                    # coordinator works, everyone resumes.  A broken
+                    # barrier is the shutdown signal (a thread released
+                    # from a completed generation can still observe a
+                    # subsequent abort), not an error: loop and re-check
+                    # the stop flag.
+                    try:
+                        self._paused.wait()
+                        self._paused.wait()
+                    except threading.BrokenBarrierError:
+                        continue
+                progressed = False
+                with worker.lock:
+                    progressed |= worker.drain_pending()
+                    progressed |= worker.processor.act()
+                if not progressed:
+                    worker.idle.set()
+                    # Back off briefly; delivery or GVT will wake us.
+                    worker.idle.wait(timeout=0.0005)
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._error = exc
+            self._stop.set()
+        finally:
+            # Unblock the coordinator if we die mid-pause.
+            if self._error is not None:
+                self._paused.abort()
+
+    def _coordinate(self, timeout_s: float) -> None:
+        import time
+        deadline = time.monotonic() + timeout_s
+        while not self._stop.is_set():
+            if time.monotonic() > deadline:
+                raise ProtocolError("threaded run exceeded its deadline")
+            time.sleep(self.gvt_interval_s)
+            if not self._global_round():
+                return
+            if self._error is not None:
+                return
+
+    def _global_round(self) -> bool:
+        """Stop the world, advance GVT, release blocked LPs.
+
+        Returns True while work remains.  Quiescence MUST be evaluated
+        here, with every worker parked at the barrier: checked while
+        workers run, a message in flight between two of them looks like
+        global completion and the run would terminate with events
+        unprocessed.
+        """
+        work_remains = True
+        self._pause.set()
+        for worker in self.workers:
+            worker.idle.set()
+        try:
+            self._paused.wait(timeout=10.0)
+        except threading.BrokenBarrierError:
+            if self._error is None and not self._stop.is_set():
+                raise ProtocolError("worker failed to reach the barrier")
+            return False
+        try:
+            # The world is stopped: flush cross-thread inboxes, compute
+            # exact GVT, refresh bounds, fossil-collect, re-arm.  The
+            # flush must run to a FIXPOINT: delivering one worker's
+            # messages can trigger rollbacks whose antimessages land in
+            # the pending queue of a worker drained moments earlier, and
+            # a GVT computed with such a message outstanding is too
+            # high — fossil collection would then commit speculative
+            # events that the in-flight antimessage is about to cancel.
+            drained = True
+            while drained:
+                drained = False
+                for worker in self.workers:
+                    drained |= worker.drain_pending()
+            gvt = self._inner.compute_gvt()
+            if gvt > self.gvt:
+                self.gvt = gvt
+            self._inner.gvt = self.gvt
+            self._inner._refresh_release_floors()
+            for worker in self.workers:
+                proc = worker.processor
+                proc.gvt_bound = self.gvt
+                proc.stats.gvt_rounds += 1
+                proc.fossil_collect(self.gvt)
+                proc.rearm_blocked()
+            self.gvt_rounds += 1
+            work_remains = self._has_work()
+        finally:
+            # Release: clear the flag *before* the second rendezvous so
+            # resumed workers observe it down.
+            self._pause.clear()
+            try:
+                self._paused.wait(timeout=10.0)
+            except threading.BrokenBarrierError:
+                pass
+        return work_remains
+
+    def _has_work(self) -> bool:
+        for worker in self.workers:
+            with worker.inbox_lock:
+                if worker.pending:
+                    return True
+            proc = worker.processor
+            if proc.local_fifo or proc.inbox:
+                return True
+            for runtime in proc.runtimes.values():
+                head = runtime.head()
+                if head is None:
+                    continue
+                if self.until is None or head.time.pt <= self.until:
+                    return True
+        return False
+
+    def _finish(self) -> ThreadedOutcome:
+        for worker in self.workers:
+            proc = worker.processor
+            for runtime in proc.runtimes.values():
+                proc._commit_log(runtime)
+        stats = RunStats()
+        for worker in self.workers:
+            stats.merge(worker.processor.stats)
+        return ThreadedOutcome(stats=stats, gvt=self.gvt,
+                               processors=len(self.workers),
+                               gvt_rounds=self.gvt_rounds)
+
+
+def run_threaded(model: Model, processors: int,
+                 protocol: str = "optimistic",
+                 partition: Union[str, Partition, Callable] = "round_robin",
+                 until: Optional[int] = None,
+                 timeout_s: float = 120.0) -> ThreadedOutcome:
+    """Convenience wrapper mirroring :func:`run_parallel`."""
+    machine = ThreadedMachine(model, processors, protocol=protocol,
+                              partition=partition, until=until)
+    return machine.run(timeout_s=timeout_s)

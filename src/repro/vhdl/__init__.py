@@ -1,0 +1,22 @@
+"""The distributed VHDL kernel: values, signals, processes, designs."""
+
+from .design import Design
+from .kernel import SimulationResult, simulate, simulate_parallel
+from .process import (ClockedBody, ClockGeneratorBody, CombinationalBody,
+                      GeneratorBody, ProcessAPI, ProcessBody, ProcessLP,
+                      Wait, sid, sids)
+from .signal import Assignment, Driver, SignalLP, resolve_values
+from .values import (SL_0, SL_1, SL_DASH, SL_H, SL_L, SL_U, SL_W, SL_X,
+                     SL_Z, StdLogic, resolve, sl, slv, vector_to_int,
+                     vector_to_str)
+
+__all__ = [
+    "Design", "SimulationResult", "simulate", "simulate_parallel",
+    "ClockedBody", "ClockGeneratorBody", "CombinationalBody",
+    "GeneratorBody", "ProcessAPI", "ProcessBody", "ProcessLP", "Wait",
+    "sid", "sids",
+    "Assignment", "Driver", "SignalLP", "resolve_values",
+    "StdLogic", "resolve", "sl", "slv", "vector_to_int", "vector_to_str",
+    "SL_U", "SL_X", "SL_0", "SL_1", "SL_Z", "SL_W", "SL_L", "SL_H",
+    "SL_DASH",
+]

@@ -1,0 +1,14 @@
+"""VHDL subset compiler: lexer -> parser -> elaborator -> kernel LPs."""
+
+from .ast import DesignFile
+from .elaborator import ElaborationError, elaborate
+from .interp import InterpretedBody, VhdlRuntimeError
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+
+__all__ = [
+    "tokenize", "Token", "LexError",
+    "parse", "ParseError", "DesignFile",
+    "elaborate", "ElaborationError",
+    "InterpretedBody", "VhdlRuntimeError",
+]

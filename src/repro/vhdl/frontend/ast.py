@@ -1,0 +1,332 @@
+"""Abstract syntax tree for the VHDL subset.
+
+Nodes are immutable-by-convention dataclasses.  The interpreter keeps
+references into this tree inside its resumable frames, so nodes must
+never be mutated after parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A simple name reference (signal, variable, constant, enum)."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class Indexed(Expr):
+    """``name(index)`` — array indexing (or, ambiguously, a call)."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Sliced(Expr):
+    """``name(hi downto lo)`` / ``name(lo to hi)``."""
+
+    base: Expr
+    left: Expr
+    right: Expr
+    downto: bool
+
+
+@dataclass(frozen=True)
+class Attribute(Expr):
+    """``name'attr`` — only 'event, 'last_value, 'length supported."""
+
+    base: Expr
+    attr: str
+
+
+@dataclass(frozen=True)
+class CharLiteral(Expr):
+    value: str
+
+
+@dataclass(frozen=True)
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass(frozen=True)
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class TimeLiteral(Expr):
+    femtoseconds: int
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A function call: rising_edge, falling_edge, conversion helpers."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """``(others => '0')`` and positional aggregates."""
+
+    positional: Tuple[Expr, ...]
+    others: Optional[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Sequential statements
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class SignalAssign(Stmt):
+    """``target <= [transport] wave1 after t1, wave2 after t2;``"""
+
+    target: Expr
+    waveform: Tuple[Tuple[Expr, Optional[Expr]], ...]
+    transport: bool = False
+    reject: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class VarAssign(Stmt):
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class IfStmt(Stmt):
+    #: (condition, body) pairs: the if and every elsif arm.
+    arms: Tuple[Tuple[Expr, Tuple[Stmt, ...]], ...]
+    orelse: Tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class CaseStmt(Stmt):
+    selector: Expr
+    #: (choices, body); choices == () means ``when others``.
+    arms: Tuple[Tuple[Tuple[Expr, ...], Tuple[Stmt, ...]], ...]
+
+
+@dataclass(frozen=True)
+class ForStmt(Stmt):
+    var: str
+    low: Expr
+    high: Expr
+    downto: bool
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class WhileStmt(Stmt):
+    condition: Expr
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class WaitStmt(Stmt):
+    on: Tuple[str, ...] = ()
+    until: Optional[Expr] = None
+    for_time: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class NullStmt(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class ReportStmt(Stmt):
+    message: Expr
+    severity: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AssertStmt(Stmt):
+    condition: Expr
+    message: Optional[Expr] = None
+    severity: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ExitStmt(Stmt):
+    """``exit [when cond];`` — leaves the innermost loop."""
+
+    condition: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class NextStmt(Stmt):
+    """``next [when cond];`` — next iteration of the innermost loop."""
+
+    condition: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Declarations and design units
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TypeMark:
+    """A subtype indication: name plus optional (hi downto lo) range."""
+
+    name: str
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+    downto: bool = True
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    name: str
+    direction: str  # 'in' | 'out' | 'inout' | 'buffer'
+    type_mark: TypeMark
+    default: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class GenericDecl:
+    name: str
+    type_mark: TypeMark
+    default: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class SignalDecl:
+    names: Tuple[str, ...]
+    type_mark: TypeMark
+    initial: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class VariableDecl:
+    names: Tuple[str, ...]
+    type_mark: TypeMark
+    initial: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class ConstantDecl:
+    names: Tuple[str, ...]
+    type_mark: TypeMark
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ComponentDecl:
+    name: str
+    generics: Tuple[GenericDecl, ...]
+    ports: Tuple[PortDecl, ...]
+
+
+@dataclass(frozen=True)
+class ProcessStmt:
+    label: Optional[str]
+    sensitivity: Tuple[str, ...]
+    declarations: Tuple[object, ...]  # VariableDecl | ConstantDecl
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class ConcurrentAssign:
+    """``target <= expr [after t] [when cond else ...];``"""
+
+    label: Optional[str]
+    target: Expr
+    #: (value expr, condition or None) pairs; last pair has cond None.
+    arms: Tuple[Tuple[Expr, Optional[Expr]], ...]
+    after: Optional[Expr] = None
+    transport: bool = False
+
+
+@dataclass(frozen=True)
+class Instantiation:
+    label: str
+    component: str
+    generic_map: Tuple[Tuple[str, Expr], ...]
+    port_map: Tuple[Tuple[str, Expr], ...]
+
+
+@dataclass(frozen=True)
+class GenerateFor:
+    """``label : for i in lo to hi generate ... end generate;``
+
+    The body is a tuple of concurrent statements, replicated by the
+    elaborator with the loop parameter bound as a constant.
+    """
+
+    label: str
+    var: str
+    low: Expr
+    high: Expr
+    downto: bool
+    statements: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class EntityDecl:
+    name: str
+    generics: Tuple[GenericDecl, ...]
+    ports: Tuple[PortDecl, ...]
+
+
+@dataclass(frozen=True)
+class ArchitectureDecl:
+    name: str
+    entity: str
+    declarations: Tuple[object, ...]  # SignalDecl | ConstantDecl | Component
+    statements: Tuple[object, ...]    # ProcessStmt | ConcurrentAssign | Inst
+
+
+@dataclass(frozen=True)
+class DesignFile:
+    """A parsed source file: entities and architectures by name."""
+
+    entities: Tuple[EntityDecl, ...]
+    architectures: Tuple[ArchitectureDecl, ...]
+
+    def entity(self, name: str) -> EntityDecl:
+        for ent in self.entities:
+            if ent.name == name.lower():
+                return ent
+        raise KeyError(f"no entity {name!r}")
+
+    def architecture_of(self, entity: str) -> ArchitectureDecl:
+        """The last architecture declared for ``entity`` (VHDL default)."""
+        found = None
+        for arch in self.architectures:
+            if arch.entity == entity.lower():
+                found = arch
+        if found is None:
+            raise KeyError(f"no architecture for entity {entity!r}")
+        return found

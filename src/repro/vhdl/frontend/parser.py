@@ -1,0 +1,780 @@
+"""Recursive-descent parser for the VHDL subset.
+
+Supported design units: entity declarations (generics + ports) and
+architecture bodies containing signal/constant/component declarations,
+process statements, concurrent (conditional) signal assignments, and
+component instantiations.  Sequential statements: signal/variable
+assignment (inertial and transport, multi-element waveforms), if/elsif/
+else, case, for, while, wait (on/until/for), assert/report, exit/next,
+null.
+
+Expressions follow VHDL's operator precedence; both the logical and the
+arithmetic/relational operator families are implemented.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    pass
+
+
+# Operator precedence, weakest first (VHDL LRM 7.2).
+_LOGICAL = {"and", "or", "nand", "nor", "xor", "xnor"}
+_RELATIONAL = {"=", "/=", "<", "<=", ">", ">="}
+_SHIFT = {"sll", "srl", "sla", "sra", "rol", "ror"}
+_ADDING = {"+", "-", "&"}
+_MULTIPLYING = {"*", "/", "mod", "rem"}
+
+
+class Parser:
+    """One-token-lookahead recursive descent over the token list."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, value=None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, kind: str, value=None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value=None) -> Token:
+        if not self.check(kind, value):
+            raise self.error(f"expected {value or kind}")
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(
+            f"line {token.line}: {message}, found "
+            f"{token.value!r} ({token.kind})")
+
+    # ------------------------------------------------------------------
+    # Design file
+    # ------------------------------------------------------------------
+    def parse_file(self) -> ast.DesignFile:
+        entities: List[ast.EntityDecl] = []
+        architectures: List[ast.ArchitectureDecl] = []
+        while not self.check("eof"):
+            # Skip library/use clauses.
+            if self.accept("kw", "library"):
+                while not self.accept("delim", ";"):
+                    self.advance()
+                continue
+            if self.accept("kw", "use"):
+                while not self.accept("delim", ";"):
+                    self.advance()
+                continue
+            if self.check("kw", "entity"):
+                entities.append(self.parse_entity())
+            elif self.check("kw", "architecture"):
+                architectures.append(self.parse_architecture())
+            else:
+                raise self.error("expected entity or architecture")
+        return ast.DesignFile(tuple(entities), tuple(architectures))
+
+    def parse_entity(self) -> ast.EntityDecl:
+        self.expect("kw", "entity")
+        name = self.expect("id").value
+        self.expect("kw", "is")
+        generics: Tuple[ast.GenericDecl, ...] = ()
+        ports: Tuple[ast.PortDecl, ...] = ()
+        if self.accept("kw", "generic"):
+            generics = self.parse_generic_clause()
+        if self.accept("kw", "port"):
+            ports = self.parse_port_clause()
+        self.expect("kw", "end")
+        self.accept("kw", "entity")
+        if self.check("id"):
+            self.advance()
+        self.expect("delim", ";")
+        return ast.EntityDecl(name, generics, ports)
+
+    def parse_generic_clause(self) -> Tuple[ast.GenericDecl, ...]:
+        self.expect("delim", "(")
+        generics: List[ast.GenericDecl] = []
+        while True:
+            names = self.parse_name_list()
+            self.expect("delim", ":")
+            mark = self.parse_type_mark()
+            default = None
+            if self.accept("delim", ":="):
+                default = self.parse_expression()
+            for n in names:
+                generics.append(ast.GenericDecl(n, mark, default))
+            if not self.accept("delim", ";"):
+                break
+        self.expect("delim", ")")
+        self.expect("delim", ";")
+        return tuple(generics)
+
+    def parse_port_clause(self) -> Tuple[ast.PortDecl, ...]:
+        self.expect("delim", "(")
+        ports: List[ast.PortDecl] = []
+        while True:
+            names = self.parse_name_list()
+            self.expect("delim", ":")
+            direction = "in"
+            if self.current.kind == "kw" and self.current.value in (
+                    "in", "out", "inout", "buffer"):
+                direction = self.advance().value
+            mark = self.parse_type_mark()
+            default = None
+            if self.accept("delim", ":="):
+                default = self.parse_expression()
+            for n in names:
+                ports.append(ast.PortDecl(n, direction, mark, default))
+            if not self.accept("delim", ";"):
+                break
+        self.expect("delim", ")")
+        self.expect("delim", ";")
+        return tuple(ports)
+
+    def parse_name_list(self) -> List[str]:
+        names = [self.expect("id").value]
+        while self.accept("delim", ","):
+            names.append(self.expect("id").value)
+        return names
+
+    def parse_type_mark(self) -> ast.TypeMark:
+        name = self.expect("id").value
+        if self.accept("delim", "("):
+            left = self.parse_expression()
+            downto = True
+            if self.accept("kw", "downto"):
+                downto = True
+            elif self.accept("kw", "to"):
+                downto = False
+            else:
+                raise self.error("expected 'downto' or 'to' in range")
+            right = self.parse_expression()
+            self.expect("delim", ")")
+            return ast.TypeMark(name, left, right, downto)
+        return ast.TypeMark(name)
+
+    # ------------------------------------------------------------------
+    # Architecture
+    # ------------------------------------------------------------------
+    def parse_architecture(self) -> ast.ArchitectureDecl:
+        self.expect("kw", "architecture")
+        name = self.expect("id").value
+        self.expect("kw", "of")
+        entity = self.expect("id").value
+        self.expect("kw", "is")
+        declarations: List[object] = []
+        while not self.check("kw", "begin"):
+            declarations.append(self.parse_block_declaration())
+        self.expect("kw", "begin")
+        statements: List[object] = []
+        while not self.check("kw", "end"):
+            statements.append(self.parse_concurrent_statement())
+        self.expect("kw", "end")
+        self.accept("kw", "architecture")
+        if self.check("id"):
+            self.advance()
+        self.expect("delim", ";")
+        return ast.ArchitectureDecl(name, entity, tuple(declarations),
+                                    tuple(statements))
+
+    def parse_block_declaration(self) -> object:
+        if self.accept("kw", "signal"):
+            names = self.parse_name_list()
+            self.expect("delim", ":")
+            mark = self.parse_type_mark()
+            initial = None
+            if self.accept("delim", ":="):
+                initial = self.parse_expression()
+            self.expect("delim", ";")
+            return ast.SignalDecl(tuple(names), mark, initial)
+        if self.accept("kw", "constant"):
+            names = self.parse_name_list()
+            self.expect("delim", ":")
+            mark = self.parse_type_mark()
+            self.expect("delim", ":=")
+            value = self.parse_expression()
+            self.expect("delim", ";")
+            return ast.ConstantDecl(tuple(names), mark, value)
+        if self.accept("kw", "component"):
+            name = self.expect("id").value
+            self.accept("kw", "is")
+            generics: Tuple[ast.GenericDecl, ...] = ()
+            ports: Tuple[ast.PortDecl, ...] = ()
+            if self.accept("kw", "generic"):
+                generics = self.parse_generic_clause()
+            if self.accept("kw", "port"):
+                ports = self.parse_port_clause()
+            self.expect("kw", "end")
+            self.expect("kw", "component")
+            if self.check("id"):
+                self.advance()
+            self.expect("delim", ";")
+            return ast.ComponentDecl(name, generics, ports)
+        raise self.error("expected signal, constant or component "
+                         "declaration")
+
+    # ------------------------------------------------------------------
+    # Concurrent statements
+    # ------------------------------------------------------------------
+    def parse_concurrent_statement(self) -> object:
+        label = None
+        if (self.check("id") and self.tokens[self.pos + 1].kind == "delim"
+                and self.tokens[self.pos + 1].value == ":"):
+            label = self.advance().value
+            self.expect("delim", ":")
+        if self.check("kw", "process"):
+            return self.parse_process(label)
+        if self.check("kw", "for"):
+            return self.parse_generate(label)
+        if self.check("kw", "with"):
+            return self.parse_selected_assign(label)
+        if self.check("id") and self.tokens[self.pos + 1].kind == "kw" and \
+                self.tokens[self.pos + 1].value in ("port", "generic"):
+            return self.parse_instantiation(label)
+        return self.parse_concurrent_assign(label)
+
+    def parse_selected_assign(self, label) -> "ast.ProcessStmt":
+        """``with sel select y <= a when "00", b when others;``
+
+        Desugared directly to the equivalent case-statement process.
+        """
+        self.expect("kw", "with")
+        selector = self.parse_expression()
+        self.expect("kw", "select")
+        target = self.parse_primary()
+        self.expect("delim", "<=")
+        transport = bool(self.accept("kw", "transport"))
+        arms = []
+        while True:
+            value = self.parse_expression()
+            after = None
+            if self.accept("kw", "after"):
+                after = self.parse_expression()
+            self.expect("kw", "when")
+            if self.accept("kw", "others"):
+                choices: tuple = ()
+            else:
+                choice_list = [self.parse_expression()]
+                while self.accept("delim", "|"):
+                    choice_list.append(self.parse_expression())
+                choices = tuple(choice_list)
+            assign = ast.SignalAssign(target, ((value, after),),
+                                      transport, None)
+            arms.append((choices, (assign,)))
+            if not self.accept("delim", ","):
+                break
+        self.expect("delim", ";")
+        case = ast.CaseStmt(selector, tuple(arms))
+        # Sensitivity: the selector and every value expression.
+        names: List[str] = []
+
+        def collect(node):
+            if isinstance(node, ast.Name):
+                names.append(node.ident)
+            elif isinstance(node, (ast.Indexed,)):
+                collect(node.base)
+                collect(node.index)
+            elif isinstance(node, ast.Sliced):
+                collect(node.base)
+            elif isinstance(node, ast.Attribute):
+                collect(node.base)
+            elif isinstance(node, ast.Unary):
+                collect(node.operand)
+            elif isinstance(node, ast.Binary):
+                collect(node.left)
+                collect(node.right)
+            elif isinstance(node, ast.Call):
+                for arg in node.args:
+                    collect(arg)
+
+        collect(selector)
+        for _choices, body in arms:
+            collect(body[0].waveform[0][0])
+        sensitivity = tuple(dict.fromkeys(names))
+        return ast.ProcessStmt(label, sensitivity, (), (case,))
+
+    def parse_generate(self, label: Optional[str]) -> ast.GenerateFor:
+        if label is None:
+            raise self.error("generate statements require a label")
+        self.expect("kw", "for")
+        var = self.expect("id").value
+        self.expect("kw", "in")
+        low = self.parse_expression()
+        downto = False
+        if self.accept("kw", "downto"):
+            downto = True
+        else:
+            self.expect("kw", "to")
+        high = self.parse_expression()
+        self.expect("kw", "generate")
+        statements: List[object] = []
+        while not self.check("kw", "end"):
+            statements.append(self.parse_concurrent_statement())
+        self.expect("kw", "end")
+        self.expect("kw", "generate")
+        if self.check("id"):
+            self.advance()
+        self.expect("delim", ";")
+        return ast.GenerateFor(label, var, low, high, downto,
+                               tuple(statements))
+
+    def parse_process(self, label: Optional[str]) -> ast.ProcessStmt:
+        self.expect("kw", "process")
+        sensitivity: Tuple[str, ...] = ()
+        if self.accept("delim", "("):
+            names = self.parse_name_list()
+            self.expect("delim", ")")
+            sensitivity = tuple(names)
+        self.accept("kw", "is")
+        declarations: List[object] = []
+        while not self.check("kw", "begin"):
+            if self.accept("kw", "variable"):
+                names = self.parse_name_list()
+                self.expect("delim", ":")
+                mark = self.parse_type_mark()
+                initial = None
+                if self.accept("delim", ":="):
+                    initial = self.parse_expression()
+                self.expect("delim", ";")
+                declarations.append(
+                    ast.VariableDecl(tuple(names), mark, initial))
+            elif self.accept("kw", "constant"):
+                names = self.parse_name_list()
+                self.expect("delim", ":")
+                mark = self.parse_type_mark()
+                self.expect("delim", ":=")
+                value = self.parse_expression()
+                self.expect("delim", ";")
+                declarations.append(
+                    ast.ConstantDecl(tuple(names), mark, value))
+            else:
+                raise self.error("expected variable or constant "
+                                 "declaration in process")
+        self.expect("kw", "begin")
+        body = self.parse_sequential_statements(("end",))
+        self.expect("kw", "end")
+        self.expect("kw", "process")
+        if self.check("id"):
+            self.advance()
+        self.expect("delim", ";")
+        return ast.ProcessStmt(label, sensitivity, tuple(declarations),
+                               body)
+
+    def parse_instantiation(self, label: Optional[str]) -> ast.Instantiation:
+        if label is None:
+            raise self.error("component instantiation requires a label")
+        component = self.expect("id").value
+        generic_map: List[Tuple[str, ast.Expr]] = []
+        port_map: List[Tuple[str, ast.Expr]] = []
+        if self.accept("kw", "generic"):
+            self.expect("kw", "map")
+            generic_map = self.parse_association_list()
+        if self.accept("kw", "port"):
+            self.expect("kw", "map")
+            port_map = self.parse_association_list()
+        self.expect("delim", ";")
+        return ast.Instantiation(label, component, tuple(generic_map),
+                                 tuple(port_map))
+
+    def parse_association_list(self) -> List[Tuple[str, ast.Expr]]:
+        self.expect("delim", "(")
+        pairs: List[Tuple[str, ast.Expr]] = []
+        index = 0
+        while True:
+            if (self.check("id")
+                    and self.tokens[self.pos + 1].kind == "delim"
+                    and self.tokens[self.pos + 1].value == "=>"):
+                formal = self.advance().value
+                self.expect("delim", "=>")
+                pairs.append((formal, self.parse_expression()))
+            else:
+                pairs.append((str(index), self.parse_expression()))
+            index += 1
+            if not self.accept("delim", ","):
+                break
+        self.expect("delim", ")")
+        return pairs
+
+    def parse_concurrent_assign(self, label) -> ast.ConcurrentAssign:
+        target = self.parse_primary()
+        self.expect("delim", "<=")
+        transport = bool(self.accept("kw", "transport"))
+        arms: List[Tuple[ast.Expr, Optional[ast.Expr]]] = []
+        after = None
+        while True:
+            value = self.parse_expression()
+            if self.accept("kw", "after"):
+                after = self.parse_expression()
+            if self.accept("kw", "when"):
+                condition = self.parse_expression()
+                arms.append((value, condition))
+                self.expect("kw", "else")
+                continue
+            arms.append((value, None))
+            break
+        self.expect("delim", ";")
+        return ast.ConcurrentAssign(label, target, tuple(arms), after,
+                                    transport)
+
+    # ------------------------------------------------------------------
+    # Sequential statements
+    # ------------------------------------------------------------------
+    def parse_sequential_statements(self, stop_kw) -> Tuple[ast.Stmt, ...]:
+        stmts: List[ast.Stmt] = []
+        while not (self.current.kind == "kw"
+                   and self.current.value in stop_kw):
+            stmts.append(self.parse_sequential_statement())
+        return tuple(stmts)
+
+    def parse_sequential_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind == "kw":
+            handler = {
+                "if": self.parse_if,
+                "case": self.parse_case,
+                "for": self.parse_for,
+                "while": self.parse_while,
+                "wait": self.parse_wait,
+                "null": self.parse_null,
+                "report": self.parse_report,
+                "assert": self.parse_assert,
+                "exit": self.parse_exit,
+                "next": self.parse_next,
+            }.get(token.value)
+            if handler is None:
+                raise self.error("unexpected keyword in statement")
+            return handler()
+        # Assignment: parse the target, then dispatch on <= or :=
+        target = self.parse_primary()
+        if self.accept("delim", "<="):
+            transport = bool(self.accept("kw", "transport"))
+            reject = None
+            if self.accept("kw", "reject"):
+                reject = self.parse_expression()
+                self.expect("kw", "inertial")
+            elif self.accept("kw", "inertial"):
+                pass
+            waveform: List[Tuple[ast.Expr, Optional[ast.Expr]]] = []
+            while True:
+                value = self.parse_expression()
+                delay = None
+                if self.accept("kw", "after"):
+                    delay = self.parse_expression()
+                waveform.append((value, delay))
+                if not self.accept("delim", ","):
+                    break
+            self.expect("delim", ";")
+            return ast.SignalAssign(target, tuple(waveform), transport,
+                                    reject)
+        if self.accept("delim", ":="):
+            value = self.parse_expression()
+            self.expect("delim", ";")
+            return ast.VarAssign(target, value)
+        raise self.error("expected '<=' or ':=' after target")
+
+    def parse_if(self) -> ast.IfStmt:
+        self.expect("kw", "if")
+        arms: List[Tuple[ast.Expr, Tuple[ast.Stmt, ...]]] = []
+        condition = self.parse_expression()
+        self.expect("kw", "then")
+        body = self.parse_sequential_statements(("elsif", "else", "end"))
+        arms.append((condition, body))
+        while self.accept("kw", "elsif"):
+            condition = self.parse_expression()
+            self.expect("kw", "then")
+            body = self.parse_sequential_statements(
+                ("elsif", "else", "end"))
+            arms.append((condition, body))
+        orelse: Tuple[ast.Stmt, ...] = ()
+        if self.accept("kw", "else"):
+            orelse = self.parse_sequential_statements(("end",))
+        self.expect("kw", "end")
+        self.expect("kw", "if")
+        self.expect("delim", ";")
+        return ast.IfStmt(tuple(arms), orelse)
+
+    def parse_case(self) -> ast.CaseStmt:
+        self.expect("kw", "case")
+        selector = self.parse_expression()
+        self.expect("kw", "is")
+        arms = []
+        while self.accept("kw", "when"):
+            if self.accept("kw", "others"):
+                choices: Tuple[ast.Expr, ...] = ()
+            else:
+                choice_list = [self.parse_expression()]
+                while self.accept("delim", "|"):
+                    choice_list.append(self.parse_expression())
+                choices = tuple(choice_list)
+            self.expect("delim", "=>")
+            body = self.parse_sequential_statements(("when", "end"))
+            arms.append((choices, body))
+        self.expect("kw", "end")
+        self.expect("kw", "case")
+        self.expect("delim", ";")
+        return ast.CaseStmt(selector, tuple(arms))
+
+    def parse_for(self) -> ast.ForStmt:
+        self.expect("kw", "for")
+        var = self.expect("id").value
+        self.expect("kw", "in")
+        low = self.parse_expression()
+        downto = False
+        if self.accept("kw", "downto"):
+            downto = True
+        else:
+            self.expect("kw", "to")
+        high = self.parse_expression()
+        self.expect("kw", "loop")
+        body = self.parse_sequential_statements(("end",))
+        self.expect("kw", "end")
+        self.expect("kw", "loop")
+        self.expect("delim", ";")
+        return ast.ForStmt(var, low, high, downto, body)
+
+    def parse_while(self) -> ast.WhileStmt:
+        self.expect("kw", "while")
+        condition = self.parse_expression()
+        self.expect("kw", "loop")
+        body = self.parse_sequential_statements(("end",))
+        self.expect("kw", "end")
+        self.expect("kw", "loop")
+        self.expect("delim", ";")
+        return ast.WhileStmt(condition, body)
+
+    def parse_wait(self) -> ast.WaitStmt:
+        self.expect("kw", "wait")
+        on: Tuple[str, ...] = ()
+        until = None
+        for_time = None
+        if self.accept("kw", "on"):
+            on = tuple(self.parse_name_list())
+        if self.accept("kw", "until"):
+            until = self.parse_expression()
+        if self.accept("kw", "for"):
+            for_time = self.parse_expression()
+        self.expect("delim", ";")
+        return ast.WaitStmt(on, until, for_time)
+
+    def parse_null(self) -> ast.NullStmt:
+        self.expect("kw", "null")
+        self.expect("delim", ";")
+        return ast.NullStmt()
+
+    def parse_report(self) -> ast.ReportStmt:
+        self.expect("kw", "report")
+        message = self.parse_expression()
+        severity = None
+        if self.accept("kw", "severity"):
+            severity = self.expect("id").value
+        self.expect("delim", ";")
+        return ast.ReportStmt(message, severity)
+
+    def parse_assert(self) -> ast.AssertStmt:
+        self.expect("kw", "assert")
+        condition = self.parse_expression()
+        message = None
+        severity = None
+        if self.accept("kw", "report"):
+            message = self.parse_expression()
+        if self.accept("kw", "severity"):
+            severity = self.expect("id").value
+        self.expect("delim", ";")
+        return ast.AssertStmt(condition, message, severity)
+
+    def parse_exit(self) -> ast.ExitStmt:
+        self.expect("kw", "exit")
+        condition = None
+        if self.accept("kw", "when"):
+            condition = self.parse_expression()
+        self.expect("delim", ";")
+        return ast.ExitStmt(condition)
+
+    def parse_next(self) -> ast.NextStmt:
+        self.expect("kw", "next")
+        condition = None
+        if self.accept("kw", "when"):
+            condition = self.parse_expression()
+        self.expect("delim", ";")
+        return ast.NextStmt(condition)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_logical()
+
+    def parse_logical(self) -> ast.Expr:
+        left = self.parse_relational()
+        while self.current.kind == "kw" and \
+                self.current.value in _LOGICAL:
+            op = self.advance().value
+            right = self.parse_relational()
+            left = ast.Binary(op, left, right)
+        return left
+
+    def parse_relational(self) -> ast.Expr:
+        left = self.parse_shift()
+        if self.current.kind == "delim" and \
+                self.current.value in _RELATIONAL:
+            op = self.advance().value
+            right = self.parse_shift()
+            return ast.Binary(op, left, right)
+        return left
+
+    def parse_shift(self) -> ast.Expr:
+        left = self.parse_adding()
+        if self.current.kind == "kw" and self.current.value in _SHIFT:
+            op = self.advance().value
+            right = self.parse_adding()
+            return ast.Binary(op, left, right)
+        return left
+
+    def parse_adding(self) -> ast.Expr:
+        left = self.parse_multiplying()
+        while self.current.kind == "delim" and \
+                self.current.value in _ADDING:
+            op = self.advance().value
+            right = self.parse_multiplying()
+            left = ast.Binary(op, left, right)
+        return left
+
+    def parse_multiplying(self) -> ast.Expr:
+        left = self.parse_factor()
+        while ((self.current.kind == "delim"
+                and self.current.value in ("*", "/"))
+               or (self.current.kind == "kw"
+                   and self.current.value in ("mod", "rem"))):
+            op = self.advance().value
+            right = self.parse_factor()
+            left = ast.Binary(op, left, right)
+        return left
+
+    def parse_factor(self) -> ast.Expr:
+        if self.accept("kw", "not"):
+            return ast.Unary("not", self.parse_factor())
+        if self.accept("kw", "abs"):
+            return ast.Unary("abs", self.parse_factor())
+        if self.accept("delim", "-"):
+            return ast.Unary("-", self.parse_factor())
+        if self.accept("delim", "+"):
+            return self.parse_factor()
+        left = self.parse_primary()
+        if self.accept("delim", "**"):
+            right = self.parse_factor()
+            return ast.Binary("**", left, right)
+        return left
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "char":
+            self.advance()
+            return ast.CharLiteral(token.value)
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLiteral(token.value)
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLiteral(token.value)
+        if token.kind == "time":
+            self.advance()
+            return ast.TimeLiteral(token.value)
+        if token.kind == "delim" and token.value == "(":
+            return self.parse_aggregate_or_paren()
+        if token.kind == "id":
+            return self.parse_name()
+        if token.kind == "kw" and token.value in ("true", "false"):
+            # true/false are not VHDL keywords; ids in practice.
+            self.advance()
+            return ast.Name(token.value)
+        raise self.error("expected an expression")
+
+    def parse_aggregate_or_paren(self) -> ast.Expr:
+        self.expect("delim", "(")
+        if self.check("kw", "others"):
+            self.advance()
+            self.expect("delim", "=>")
+            value = self.parse_expression()
+            self.expect("delim", ")")
+            return ast.Aggregate((), value)
+        first = self.parse_expression()
+        if self.check("delim", ","):
+            positional = [first]
+            while self.accept("delim", ","):
+                if self.accept("kw", "others"):
+                    self.expect("delim", "=>")
+                    value = self.parse_expression()
+                    self.expect("delim", ")")
+                    return ast.Aggregate(tuple(positional), value)
+                positional.append(self.parse_expression())
+            self.expect("delim", ")")
+            return ast.Aggregate(tuple(positional), None)
+        self.expect("delim", ")")
+        return first
+
+    def parse_name(self) -> ast.Expr:
+        node: ast.Expr = ast.Name(self.expect("id").value)
+        while True:
+            if self.accept("delim", "'"):
+                attr = self.advance()
+                if attr.kind not in ("id", "kw"):
+                    raise self.error("expected attribute name")
+                node = ast.Attribute(node, str(attr.value))
+                continue
+            if self.check("delim", "("):
+                self.advance()
+                first = self.parse_expression()
+                if self.accept("kw", "downto"):
+                    second = self.parse_expression()
+                    self.expect("delim", ")")
+                    node = ast.Sliced(node, first, second, True)
+                    continue
+                if self.accept("kw", "to"):
+                    second = self.parse_expression()
+                    self.expect("delim", ")")
+                    node = ast.Sliced(node, first, second, False)
+                    continue
+                args = [first]
+                while self.accept("delim", ","):
+                    args.append(self.parse_expression())
+                self.expect("delim", ")")
+                if len(args) == 1 and isinstance(node, ast.Name):
+                    # Could be indexing or a call; the elaborator decides
+                    # from the name.  Functions of several args are calls.
+                    node = ast.Indexed(node, args[0])
+                elif isinstance(node, ast.Name):
+                    node = ast.Call(node.ident, tuple(args))
+                else:
+                    node = ast.Indexed(node, args[0])
+                continue
+            break
+        return node
+
+
+def parse(text: str) -> ast.DesignFile:
+    """Parse VHDL source text into a design file AST."""
+    return Parser(tokenize(text)).parse_file()

@@ -1,0 +1,113 @@
+"""The distributed VHDL kernel: run a Design under any engine.
+
+This is the top of the public API: build a :class:`~repro.vhdl.design.Design`,
+then ``simulate(design, until=...)`` with the engine and protocol of your
+choice.  Every engine produces the same committed results; they differ in
+how they synchronize (and, on the modelled parallel machine, in the
+parallel run time they report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.sequential import SequentialSimulator
+from ..core.stats import RunStats
+from ..core.vtime import VirtualTime
+from .design import Design
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    stats: RunStats
+    #: Signal name -> committed effective-value change history.
+    traces: Dict[str, List[Tuple[VirtualTime, Any]]]
+    #: Signal name -> final effective value.
+    finals: Dict[str, Any]
+    #: Signal name -> declared initial value (time-zero state for
+    #: waveform rendering/VCD).
+    initials: Dict[str, Any] = None  # type: ignore[assignment]
+    #: Modelled parallel run time in cost units (None for sequential).
+    parallel_time: Optional[float] = None
+    #: Number of processors used (1 for sequential).
+    processors: int = 1
+
+    def trace(self, name: str) -> List[Tuple[VirtualTime, Any]]:
+        return self.traces[name]
+
+    def value(self, name: str) -> Any:
+        return self.finals[name]
+
+    def waveform_chars(self, name: str) -> str:
+        """Compact rendering of a scalar trace, e.g. ``"01010"``."""
+        return "".join(getattr(v, "char", str(v))
+                       for _, v in self.traces[name])
+
+
+def _collect(design: Design, stats: RunStats,
+             parallel_time: Optional[float] = None,
+             processors: int = 1) -> SimulationResult:
+    traces = {s.name: s.trace() for s in design.signals if s.traced}
+    finals = {s.name: s.effective for s in design.signals}
+    initials = {s.name: s.initial for s in design.signals}
+    return SimulationResult(stats=stats, traces=traces, finals=finals,
+                            initials=initials,
+                            parallel_time=parallel_time,
+                            processors=processors)
+
+
+def _claim(design: Design) -> None:
+    """A Design carries mutable LP state, so it is single-use."""
+    if getattr(design, "_simulated", False):
+        raise RuntimeError(
+            f"design {design.name!r} was already simulated; build a fresh "
+            f"Design per run (LP state is mutated by simulation)")
+    design._simulated = True
+
+
+def simulate(design: Design, until: Optional[int] = None,
+             max_events: Optional[int] = None,
+             shuffle_ties=None) -> SimulationResult:
+    """Run ``design`` on the sequential reference engine.
+
+    ``until`` is in femtoseconds; events *at* that time still execute.
+    ``shuffle_ties`` randomizes the order of simultaneous events (the
+    results must not depend on it; see the property tests).
+    """
+    _claim(design)
+    model = design.elaborate()
+    sim = SequentialSimulator(model, shuffle_ties=shuffle_ties)
+    stats = sim.run(until=until, max_events=max_events)
+    return _collect(design, stats)
+
+
+def simulate_parallel(design: Design, processors: int,
+                      until: Optional[int] = None,
+                      protocol: str = "dynamic",
+                      **machine_kwargs: Any) -> SimulationResult:
+    """Run ``design`` on the modelled parallel machine.
+
+    ``protocol`` selects the synchronization configuration:
+
+    * ``"optimistic"``   — every LP runs Time Warp;
+    * ``"conservative"`` — every LP blocks until safe (lookahead-free,
+      with global deadlock recovery);
+    * ``"mixed"``        — the paper's static heuristic: clocked/register
+      LPs conservative, the rest optimistic;
+    * ``"dynamic"``      — LPs self-adapt between the modes at runtime.
+
+    Returns a result whose ``parallel_time`` is the modelled makespan;
+    speedup against a 1-processor run of the same engine reproduces the
+    paper's speedup figures.
+    """
+    from ..parallel.machine import run_parallel  # local import: optional dep
+
+    _claim(design)
+    model = design.elaborate()
+    outcome = run_parallel(model, processors=processors, until=until,
+                           protocol=protocol, **machine_kwargs)
+    return _collect(design, outcome.stats,
+                    parallel_time=outcome.makespan, processors=processors)

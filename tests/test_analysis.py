@@ -1,0 +1,72 @@
+"""Analysis helpers: speedup measurement and report rendering."""
+
+import pytest
+
+from repro.analysis import (SpeedupCurve, SpeedupPoint, ascii_chart,
+                            format_table, measure_speedups,
+                            sequential_baseline, speedup_table)
+from repro.circuits import build_fsm
+
+
+def build():
+    return build_fsm(cells=3, cycles=4).design
+
+
+class TestSpeedupMeasurement:
+    def test_baseline_counts_committed_events(self):
+        baseline = sequential_baseline(build)
+        assert baseline > 0
+        # The baseline is events x unit cost: integral in model units.
+        assert baseline == int(baseline)
+
+    def test_measure_speedups_structure(self):
+        curves = measure_speedups(build, ["optimistic", "conservative"],
+                                  [1, 2], max_steps=2_000_000)
+        assert set(curves) == {"optimistic", "conservative"}
+        for curve in curves.values():
+            assert curve.processors() == [1, 2]
+            assert all(s > 0 for s in curve.speedups())
+            point = curve.at(2)
+            assert point.processors == 2
+            assert point.speedup == pytest.approx(
+                curve.baseline_time / point.makespan)
+
+    def test_at_unknown_processor_count(self):
+        curve = SpeedupCurve("x", 100.0)
+        with pytest.raises(KeyError):
+            curve.at(3)
+
+
+class TestRendering:
+    def fake_curves(self):
+        curves = {}
+        for name, values in (("a", [1.0, 1.9]), ("b", [0.9, 1.5])):
+            curve = SpeedupCurve(name, 100.0)
+            for p, s in zip([1, 2], values):
+                curve.points.append(
+                    SpeedupPoint(processors=p, speedup=s,
+                                 makespan=100.0 / s, outcome=None))
+            curves[name] = curve
+        return curves
+
+    def test_format_table_alignment(self):
+        table = format_table(["x", "yy"], [["1", "2"], ["333", "4"]],
+                             title="t")
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert "x" in lines[1] and "yy" in lines[1]
+        # All rows have equal rendered width.
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_speedup_table_contains_all_protocols(self):
+        table = speedup_table(self.fake_curves(), "title")
+        assert "a" in table and "b" in table
+        assert "1.90" in table
+
+    def test_ascii_chart_renders(self):
+        chart = ascii_chart(self.fake_curves(), "chart")
+        assert "chart" in chart
+        assert "o=a" in chart
+        assert "*=b" in chart
+        # glyphs appear somewhere in the grid
+        assert "o" in chart and "*" in chart

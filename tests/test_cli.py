@@ -1,0 +1,95 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_until, main
+
+SOURCE = """
+entity tb is end tb;
+architecture sim of tb is
+  signal clk : std_logic := '0';
+  signal q : std_logic_vector(1 downto 0) := "00";
+begin
+  clocking : process
+  begin
+    for i in 1 to 4 loop
+      clk <= '0'; wait for 5 ns;
+      clk <= '1'; wait for 5 ns;
+    end loop;
+    wait;
+  end process;
+  count : process(clk)
+  begin
+    if rising_edge(clk) then
+      q <= q + 1;
+    end if;
+  end process;
+end sim;
+"""
+
+
+@pytest.fixture()
+def vhd(tmp_path):
+    path = tmp_path / "tb.vhd"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestParseUntil:
+    def test_units(self):
+        assert _parse_until("5ns") == 5 * 10**6
+        assert _parse_until("1 us") == 10**9
+        assert _parse_until("250") == 250
+        assert _parse_until(None) is None
+
+
+class TestCommands:
+    def test_simulate(self, vhd, capsys):
+        assert main(["simulate", vhd, "--top", "tb"]) == 0
+        out = capsys.readouterr().out
+        assert "LPs" in out
+        assert "events" in out
+
+    def test_simulate_with_vcd(self, vhd, tmp_path, capsys):
+        vcd = str(tmp_path / "w.vcd")
+        assert main(["simulate", vhd, "--top", "tb",
+                     "--vcd", vcd]) == 0
+        assert "$enddefinitions" in open(vcd).read()
+
+    def test_simulate_until(self, vhd, capsys):
+        assert main(["simulate", vhd, "--top", "tb",
+                     "--until", "12ns"]) == 0
+        out = capsys.readouterr().out
+        assert "final time" in out
+
+    def test_parallel(self, vhd, capsys):
+        assert main(["parallel", vhd, "--top", "tb", "-p", "3",
+                     "--protocol", "optimistic"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "rollbacks" in out
+
+    def test_report(self, vhd, capsys):
+        assert main(["report", vhd, "--top", "tb"]) == 0
+        out = capsys.readouterr().out
+        assert "signals" in out
+        assert "conservative-tagged" in out
+
+    def test_trace_selection(self, vhd, capsys):
+        assert main(["simulate", vhd, "--top", "tb",
+                     "--trace", "clk"]) == 0
+        out = capsys.readouterr().out
+        assert "clk:" in out
+        assert "q:" not in out
+
+    def test_bench_tiny(self, capsys):
+        assert main(["bench", "fsm", "--processors", "1", "2",
+                     "--protocols", "optimistic", "--cycles", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "optimistic" in out
+
+    def test_bad_protocol_rejected(self, vhd):
+        with pytest.raises(SystemExit):
+            main(["parallel", vhd, "--top", "tb",
+                  "--protocol", "psychic"])

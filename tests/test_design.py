@@ -1,0 +1,86 @@
+"""Design builder: wiring, naming, auto-wiring from bodies."""
+
+import pytest
+
+from repro.core.model import SyncMode
+from repro.core.vtime import NS
+from repro.vhdl import (ClockedBody, CombinationalBody, Design,
+                        GeneratorBody, SL_0, SL_1, Wait, simulate)
+from repro.vhdl.signal import SignalLP
+
+
+class TestSignals:
+    def test_signal_returns_registered_lp(self):
+        d = Design("t")
+        s = d.signal("s", SL_0)
+        assert isinstance(s, SignalLP)
+        assert s.lp_id == 0
+        assert d["s"] is s
+
+    def test_signal_vector_bit_blasts(self):
+        d = Design("t")
+        bus = d.signal_vector("v", 4, initial="1010")
+        assert [w.name for w in bus] == ["v[0]", "v[1]", "v[2]", "v[3]"]
+        assert bus[0].initial is SL_1
+        assert bus[1].initial is SL_0
+
+    def test_duplicate_names_rejected(self):
+        d = Design("t")
+        d.signal("s", SL_0)
+        with pytest.raises(ValueError):
+            d.signal("s", SL_0)
+
+
+class TestProcesses:
+    def test_auto_wiring_from_combinational_body(self):
+        d = Design("t")
+        a = d.signal("a", SL_0)
+        y = d.signal("y", SL_0)
+        p = d.process("inv", CombinationalBody([a], [y], lambda v: ~v))
+        assert a.readers == [p.lp_id]
+        assert p.lp_id in y.drivers
+        assert p.locals_[a.lp_id] is SL_0
+        assert (a.lp_id, p.lp_id) in d.model.channels
+        assert (p.lp_id, y.lp_id) in d.model.channels
+
+    def test_generator_body_requires_explicit_wiring(self):
+        d = Design("t")
+        with pytest.raises(ValueError):
+            d.process("g", GeneratorBody(lambda api: iter(())))
+
+    def test_non_checkpointable_forced_conservative(self):
+        d = Design("t")
+        p = d.stimulus("g", lambda api: iter(()))
+        assert d.model.sync_modes[p.lp_id] is SyncMode.CONSERVATIVE
+
+    def test_clock_helper(self):
+        d = Design("t")
+        clk = d.signal("clk", SL_0)
+        p = d.clock("gen", clk, period_fs=10 * NS, cycles=3)
+        assert d.model.sync_modes[p.lp_id] is SyncMode.CONSERVATIVE
+        assert p.lp_id in clk.drivers
+
+    def test_clock_rejects_odd_period(self):
+        d = Design("t")
+        clk = d.signal("clk", SL_0)
+        with pytest.raises(ValueError):
+            d.clock("gen", clk, period_fs=3, cycles=1)
+
+    def test_driving_a_process_rejected(self):
+        d = Design("t")
+        a = d.signal("a", SL_0)
+        p1 = d.process("p1", CombinationalBody([a], [a], lambda v: v))
+        with pytest.raises(TypeError):
+            d.process("p2", CombinationalBody([p1], [a], lambda v: v))
+
+
+class TestReports:
+    def test_size_report(self):
+        d = Design("t")
+        a = d.signal("a", SL_0)
+        y = d.signal("y", SL_0)
+        d.process("inv", CombinationalBody([a], [y], lambda v: ~v))
+        report = d.size_report()
+        assert report == {"signals": 2, "processes": 1, "lps": 3,
+                          "channels": 2}
+        assert d.lp_count == 3

@@ -1,0 +1,75 @@
+"""Trace diffing."""
+
+import pytest
+
+from repro.analysis.diff import diff_results
+from repro.core import NS
+from repro.vhdl import CombinationalBody, Design, SL_0, SL_1, Wait, simulate
+
+
+def pulse_design(flips):
+    design = Design("d")
+    a = design.signal("a", SL_0, traced=True)
+    y = design.signal("y", SL_0, traced=True)
+    design.process("buf", CombinationalBody([a], [y], lambda v: v))
+
+    def stim(api):
+        now = 0
+        for at, value in flips:
+            yield Wait(for_fs=at - now)
+            now = at
+            api.assign(a.lp_id, value)
+
+    design.stimulus("stim", stim, drives=[a])
+    return design
+
+
+class TestDiff:
+    def test_identical(self):
+        flips = [(1 * NS, SL_1), (3 * NS, SL_0)]
+        left = simulate(pulse_design(flips))
+        right = simulate(pulse_design(flips))
+        report = diff_results(left, right)
+        assert report.identical
+        assert report.summary() == "traces identical"
+
+    def test_value_divergence(self):
+        left = simulate(pulse_design([(1 * NS, SL_1)]))
+        right = simulate(pulse_design([(1 * NS, SL_0)]))
+        report = diff_results(left, right)
+        assert not report.identical
+        kinds = {d.kind for d in report.divergences}
+        # right never changes (assigning '0' to '0'), so the left's
+        # changes are "extra" from the right's point of view.
+        assert "extra-change" in kinds
+
+    def test_time_divergence(self):
+        left = simulate(pulse_design([(1 * NS, SL_1)]))
+        right = simulate(pulse_design([(2 * NS, SL_1)]))
+        report = diff_results(left, right)
+        assert any(d.kind == "time" for d in report.divergences)
+        assert "time" in report.summary()
+
+    def test_missing_signal(self):
+        left = simulate(pulse_design([(1 * NS, SL_1)]))
+        right = simulate(pulse_design([(1 * NS, SL_1)]))
+        del right.traces["y"]
+        report = diff_results(left, right)
+        assert any(d.kind == "missing-signal" for d in report.divergences)
+
+    def test_physical_only_ignores_delta_numbers(self):
+        left = simulate(pulse_design([(1 * NS, SL_1)]))
+        right = simulate(pulse_design([(1 * NS, SL_1)]))
+        # Perturb only the logical component of one timestamp.
+        from repro.core.vtime import VirtualTime
+        t, v = right.traces["y"][0]
+        right.traces["y"][0] = (VirtualTime(t.pt, t.lt + 3), v)
+        assert not diff_results(left, right).identical
+        assert diff_results(left, right, physical_only=True).identical
+
+    def test_summary_truncation(self):
+        left = simulate(pulse_design(
+            [(i * NS, SL_1 if i % 2 else SL_0) for i in range(1, 40)]))
+        right = simulate(pulse_design([(1 * NS, SL_1)]))
+        report = diff_results(left, right)
+        assert "more" in report.summary(limit=3)

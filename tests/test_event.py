@@ -1,0 +1,75 @@
+"""Events: ordering, identities, antimessage pairing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.event import Event, EventId, EventKind, fresh_event_id
+from repro.core.vtime import VirtualTime
+
+
+def make(pt=0, lt=0, kind=EventKind.USER, dst=0, src=1, seq=0,
+         payload=None, sign=1):
+    return Event(time=VirtualTime(pt, lt), kind=kind, dst=dst, src=src,
+                 payload=payload, sign=sign, eid=EventId(src, seq),
+                 send_time=VirtualTime(0, 0))
+
+
+class TestOrdering:
+    def test_time_dominates(self):
+        early = make(pt=1, lt=9, kind=EventKind.PROCESS_RUN)
+        late = make(pt=2, lt=0, kind=EventKind.NULL)
+        assert early < late
+
+    def test_kind_breaks_time_ties_deterministically(self):
+        a = make(kind=EventKind.SIGNAL_ASSIGN)
+        b = make(kind=EventKind.PROCESS_RUN)
+        assert a < b  # SIGNAL_ASSIGN has the lower kind priority value
+
+    def test_eid_breaks_remaining_ties(self):
+        a = make(seq=1)
+        b = make(seq=2)
+        assert a < b
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5),
+                              st.integers(0, 100)), min_size=2, max_size=20))
+    def test_sort_is_total_and_stable(self, specs):
+        events = [make(pt=p, lt=l, seq=s) for p, l, s in specs]
+        ordered = sorted(events)
+        for x, y in zip(ordered, ordered[1:]):
+            assert x.sort_key() <= y.sort_key()
+
+
+class TestAntimessages:
+    def test_antimessage_mirrors_fields(self):
+        e = make(pt=3, lt=2, payload="x")
+        a = e.antimessage()
+        assert a.sign == -1
+        assert a.time == e.time
+        assert a.eid == e.eid
+        assert a.payload == e.payload
+        assert a.is_antimessage
+
+    def test_antimessage_of_antimessage_rejected(self):
+        with pytest.raises(ValueError):
+            make().antimessage().antimessage()
+
+    def test_matches(self):
+        e = make(seq=7)
+        assert e.antimessage().matches(e)
+        assert e.matches(e.antimessage())
+        assert not e.matches(make(seq=8).antimessage())
+        assert not e.matches(e)  # same sign never matches
+
+    def test_null_flag(self):
+        assert make(kind=EventKind.NULL).is_null
+        assert not make(kind=EventKind.USER).is_null
+
+
+class TestEventId:
+    def test_fresh_ids_unique(self):
+        ids = {fresh_event_id(3) for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_ordering(self):
+        assert EventId(1, 5) < EventId(2, 0)
+        assert EventId(1, 5) < EventId(1, 6)

@@ -1,0 +1,419 @@
+"""VHDL frontend: elaboration and interpreted simulation, end to end."""
+
+import pytest
+
+from repro.core import NS
+from repro.core.model import SyncMode
+from repro.vhdl import SL_0, SL_1, simulate, simulate_parallel, vector_to_str
+from repro.vhdl.frontend import ElaborationError, VhdlRuntimeError, elaborate
+
+COUNTER = """
+entity counter is
+  generic (width : integer := 4);
+  port (clk : in std_logic;
+        rst : in std_logic;
+        q   : out std_logic_vector(width - 1 downto 0));
+end counter;
+
+architecture rtl of counter is
+  signal value : std_logic_vector(width - 1 downto 0) := (others => '0');
+begin
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        value <= (others => '0');
+      else
+        value <= value + 1;
+      end if;
+    end if;
+  end process;
+  q <= value;
+end rtl;
+"""
+
+TB = COUNTER + """
+entity tb is end tb;
+
+architecture sim of tb is
+  component counter
+    generic (width : integer := 4);
+    port (clk : in std_logic;
+          rst : in std_logic;
+          q   : out std_logic_vector(width - 1 downto 0));
+  end component;
+  signal clk : std_logic := '0';
+  signal rst : std_logic := '0';
+  signal q   : std_logic_vector(3 downto 0);
+begin
+  u1 : counter generic map (width => 4)
+               port map (clk => clk, rst => rst, q => q);
+
+  clocking : process
+  begin
+    for i in 1 to 12 loop
+      clk <= '0';
+      wait for 5 ns;
+      clk <= '1';
+      wait for 5 ns;
+    end loop;
+    wait;
+  end process;
+
+  reset : process
+  begin
+    rst <= '1';
+    wait for 12 ns;
+    rst <= '0';
+    wait;
+  end process;
+end sim;
+"""
+
+
+class TestCounterTestbench:
+    def test_counts_after_reset(self):
+        res = simulate(elaborate(TB, top="tb"))
+        assert vector_to_str(res.finals["q"]) == "1011"  # 11 edges count
+
+    def test_hierarchy_flattened(self):
+        design = elaborate(TB, top="tb")
+        names = {lp.name for lp in design.model.lps}
+        assert "u1.value" in names  # instance-prefixed signal
+        assert "clocking" in names
+        assert "q" in names
+
+    def test_generic_override(self):
+        design = elaborate(TB, top="counter", generics={"width": 8},
+                           name="c8")
+        widths = [len(s.initial) for s in design.signals
+                  if s.name in ("q", "value")]
+        assert widths == [8, 8]
+
+    def test_synchronous_process_tagged_conservative(self):
+        design = elaborate(TB, top="tb")
+        modes = {lp.name: design.model.sync_modes[lp.lp_id]
+                 for lp in design.model.lps}
+        # The counter's clocked process is conservative (mixed heuristic);
+        # the concurrent q <= value buffer is optimistic.
+        clocked = [name for name, mode in modes.items()
+                   if name.startswith("u1.") and
+                   mode is SyncMode.CONSERVATIVE]
+        assert clocked
+
+    def test_interpreted_processes_run_under_time_warp(self):
+        ref = simulate(elaborate(TB, top="tb"))
+        res = simulate_parallel(elaborate(TB, top="tb"), processors=4,
+                                protocol="optimistic", max_steps=2_000_000)
+        assert res.finals == ref.finals
+        assert res.traces == ref.traces
+
+
+MUX = """
+entity mux is
+  port (a, b, sel : in std_logic; y : out std_logic);
+end mux;
+architecture rtl of mux is
+begin
+  y <= a when sel = '0' else b;
+end rtl;
+
+entity tb is end tb;
+architecture sim of tb is
+  component mux
+    port (a, b, sel : in std_logic; y : out std_logic);
+  end component;
+  signal a : std_logic := '1';
+  signal b : std_logic := '0';
+  signal sel, y : std_logic := '0';
+begin
+  u : mux port map (a, b, sel, y);
+  stim : process
+  begin
+    wait for 4 ns;
+    sel <= '1';
+    wait for 4 ns;
+    b <= '1';
+    wait;
+  end process;
+end sim;
+"""
+
+
+class TestConcurrentAssignments:
+    def test_conditional_assignment(self):
+        res = simulate(elaborate(MUX, top="tb"))
+        trace = [(t.pt // NS, v.char) for t, v in res.trace("y")]
+        assert trace == [(0, "1"), (4, "0"), (8, "1")]
+
+
+BEHAVIOURS = """
+entity t is end t;
+architecture sim of t is
+  signal a : std_logic_vector(7 downto 0) := "00000000";
+  signal parity : std_logic := '0';
+  signal count : std_logic_vector(3 downto 0) := "0000";
+begin
+  stim : process
+    variable ones : integer := 0;
+  begin
+    a <= "10110100";
+    wait for 1 ns;
+    ones := 0;
+    for i in 7 downto 0 loop
+      if a(i) = '1' then
+        ones := ones + 1;
+      end if;
+    end loop;
+    count <= to_unsigned(ones, 4);
+    if (ones mod 2) = 1 then
+      parity <= '1';
+    else
+      parity <= '0';
+    end if;
+    wait;
+  end process;
+end sim;
+"""
+
+
+class TestInterpreterFeatures:
+    def test_loops_variables_indexing(self):
+        res = simulate(elaborate(BEHAVIOURS, top="t"))
+        assert vector_to_str(res.finals["count"]) == "0100"  # 4 ones
+        assert res.finals["parity"] is SL_0
+
+    def test_case_statement(self):
+        src = """
+entity t is end t;
+architecture s of t is
+  signal sel : std_logic_vector(1 downto 0) := "00";
+  signal y : std_logic_vector(3 downto 0) := "0000";
+begin
+  decode : process(sel)
+  begin
+    case sel is
+      when "00" => y <= "0001";
+      when "01" => y <= "0010";
+      when "10" => y <= "0100";
+      when others => y <= "1000";
+    end case;
+  end process;
+  stim : process
+  begin
+    wait for 1 ns;
+    sel <= "10";
+    wait for 1 ns;
+    sel <= "11";
+    wait;
+  end process;
+end s;
+"""
+        res = simulate(elaborate(src, top="t"))
+        values = [vector_to_str(v) for _t, v in res.trace("y")]
+        assert values == ["0001", "0100", "1000"]
+
+    def test_slices_and_concat(self):
+        src = """
+entity t is end t;
+architecture s of t is
+  signal v : std_logic_vector(7 downto 0) := "00000000";
+  signal swapped : std_logic_vector(7 downto 0) := "00000000";
+begin
+  p : process
+  begin
+    v <= "11110000";
+    wait for 1 ns;
+    swapped <= v(3 downto 0) & v(7 downto 4);
+    wait;
+  end process;
+end s;
+"""
+        res = simulate(elaborate(src, top="t"))
+        assert vector_to_str(res.finals["swapped"]) == "00001111"
+
+    def test_element_assignment(self):
+        src = """
+entity t is end t;
+architecture s of t is
+  signal v : std_logic_vector(3 downto 0) := "0000";
+begin
+  p : process
+  begin
+    v(2) <= '1';
+    wait for 1 ns;
+    v(0) <= '1';
+    wait;
+  end process;
+end s;
+"""
+        res = simulate(elaborate(src, top="t"))
+        assert vector_to_str(res.finals["v"]) == "0101"
+
+    def test_while_and_exit(self):
+        src = """
+entity t is end t;
+architecture s of t is
+  signal n : std_logic_vector(7 downto 0) := "00000000";
+begin
+  p : process
+    variable i : integer := 0;
+  begin
+    while true loop
+      i := i + 1;
+      exit when i = 42;
+    end loop;
+    n <= to_unsigned(i, 8);
+    wait;
+  end process;
+end s;
+"""
+        res = simulate(elaborate(src, top="t"))
+        from repro.vhdl import vector_to_int
+        assert vector_to_int(res.finals["n"]) == 42
+
+    def test_wait_until_timeout_interplay(self):
+        src = """
+entity t is end t;
+architecture s of t is
+  signal go : std_logic := '0';
+  signal when_fs : std_logic_vector(7 downto 0) := "00000000";
+begin
+  waiter : process
+  begin
+    wait until go = '1' for 100 ns;
+    if go = '1' then
+      when_fs <= "00000001";
+    else
+      when_fs <= "00000010";
+    end if;
+    wait;
+  end process;
+  stim : process
+  begin
+    wait for 7 ns;
+    go <= '1';
+    wait;
+  end process;
+end s;
+"""
+        res = simulate(elaborate(src, top="t"))
+        assert vector_to_str(res.finals["when_fs"]) == "00000001"
+
+    def test_assert_failure_raises(self):
+        src = """
+entity t is end t;
+architecture s of t is
+  signal a : std_logic := '0';
+begin
+  p : process
+  begin
+    assert a = '1' report "a must be one" severity failure;
+    wait;
+  end process;
+end s;
+"""
+        with pytest.raises(VhdlRuntimeError):
+            simulate(elaborate(src, top="t"))
+
+    def test_report_collected_in_body(self):
+        src = """
+entity t is end t;
+architecture s of t is
+  signal a : std_logic := '0';
+begin
+  p : process
+  begin
+    report "hello";
+    wait;
+  end process;
+end s;
+"""
+        design = elaborate(src, top="t")
+        simulate(design)
+        body = design["p"].body
+        assert body.reports == [("note", "hello")]
+
+    def test_infinite_zero_time_loop_detected(self):
+        src = """
+entity t is end t;
+architecture s of t is
+  signal a : std_logic := '0';
+begin
+  p : process
+    variable i : integer := 0;
+  begin
+    i := i + 1;
+  end process;
+end s;
+"""
+        with pytest.raises(VhdlRuntimeError):
+            simulate(elaborate(src, top="t"))
+
+
+class TestSelectedAssignment:
+    def test_with_select(self):
+        src = """
+entity t is end t;
+architecture a of t is
+  signal sel : std_logic_vector(1 downto 0) := "00";
+  signal y : std_logic_vector(3 downto 0);
+begin
+  dec : with sel select
+    y <= "0001" when "00",
+         "0010" when "01",
+         "0100" when "10",
+         "1000" when others;
+  stim : process
+  begin
+    wait for 1 ns;
+    sel <= "01";
+    wait for 1 ns;
+    sel <= "11";
+    wait;
+  end process;
+end a;
+"""
+        res = simulate(elaborate(src, top="t"))
+        assert [vector_to_str(v) for _t, v in res.trace("y")] == [
+            "0001", "0010", "1000"]
+
+    def test_selected_with_multiple_choices(self):
+        src = """
+entity t is end t;
+architecture a of t is
+  signal sel : std_logic_vector(1 downto 0) := "01";
+  signal y : std_logic := '0';
+begin
+  dec : with sel select
+    y <= '1' when "00" | "01",
+         '0' when others;
+end a;
+"""
+        res = simulate(elaborate(src, top="t"))
+        assert res.finals["y"] == "1"
+
+
+class TestElaborationErrors:
+    def test_missing_generic_value(self):
+        src = """
+entity t is
+  generic (n : integer);
+end t;
+architecture s of t is begin end s;
+"""
+        with pytest.raises(ElaborationError):
+            elaborate(src, top="t")
+
+    def test_unknown_component_entity(self):
+        src = """
+entity t is end t;
+architecture s of t is
+  component ghost port (a : in std_logic); end component;
+  signal x : std_logic;
+begin
+  u : ghost port map (a => x);
+end s;
+"""
+        with pytest.raises(ElaborationError):
+            elaborate(src, top="t")

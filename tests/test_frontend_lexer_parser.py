@@ -1,0 +1,296 @@
+"""VHDL frontend: lexer and parser."""
+
+import pytest
+
+from repro.core.vtime import NS, PS, US
+from repro.vhdl.frontend import LexError, ParseError, parse, tokenize
+from repro.vhdl.frontend import ast
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestLexer:
+    def test_identifiers_case_insensitive(self):
+        assert kinds("Foo fOO") == [("id", "foo"), ("id", "foo")]
+
+    def test_keywords(self):
+        assert kinds("entity IS begin") == [
+            ("kw", "entity"), ("kw", "is"), ("kw", "begin")]
+
+    def test_integers_with_underscores(self):
+        assert kinds("1_000") == [("int", 1000)]
+
+    def test_time_literals(self):
+        assert kinds("5 ns") == [("time", 5 * NS)]
+        assert kinds("10ps") == [("time", 10 * PS)]
+        assert kinds("1 us") == [("time", US)]
+        assert kinds("2.5 ns") == [("time", 2500 * PS)]
+
+    def test_char_literal_vs_attribute_tick(self):
+        assert kinds("'1'") == [("char", "1")]
+        assert kinds("clk'event") == [
+            ("id", "clk"), ("delim", "'"), ("id", "event")]
+        assert kinds("x := '0';")[2] == ("char", "0")
+
+    def test_string_literals(self):
+        assert kinds('"0101"') == [("string", "0101")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"01')
+
+    def test_compound_delimiters(self):
+        assert [v for _k, v in kinds("<= => := /= ** <>")] == [
+            "<=", "=>", ":=", "/=", "**", "<>"]
+
+    def test_comments_skipped(self):
+        assert kinds("a -- comment\n b") == [("id", "a"), ("id", "b")]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a ? b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+
+ENTITY = """
+entity gate is
+  generic (n : integer := 2);
+  port (a, b : in std_logic; y : out std_logic);
+end gate;
+"""
+
+
+class TestParserUnits:
+    def test_entity(self):
+        df = parse(ENTITY)
+        ent = df.entity("gate")
+        assert [p.name for p in ent.ports] == ["a", "b", "y"]
+        assert [p.direction for p in ent.ports] == ["in", "in", "out"]
+        assert ent.generics[0].name == "n"
+
+    def test_library_use_skipped(self):
+        df = parse("library ieee;\nuse ieee.std_logic_1164.all;\n"
+                   + ENTITY)
+        assert df.entity("gate")
+
+    def test_architecture_with_signal_decl(self):
+        df = parse(ENTITY + """
+architecture rtl of gate is
+  signal t : std_logic := '0';
+begin
+  y <= a and b;
+end rtl;
+""")
+        arch = df.architecture_of("gate")
+        assert isinstance(arch.declarations[0], ast.SignalDecl)
+        assert isinstance(arch.statements[0], ast.ConcurrentAssign)
+
+    def test_last_architecture_wins(self):
+        df = parse(ENTITY + """
+architecture one of gate is begin y <= a; end one;
+architecture two of gate is begin y <= b; end two;
+""")
+        assert df.architecture_of("gate").name == "two"
+
+    def test_missing_entity_raises(self):
+        with pytest.raises(KeyError):
+            parse(ENTITY).entity("nothere")
+
+    def test_instantiation(self):
+        df = parse(ENTITY + """
+entity top is end top;
+architecture s of top is
+  component gate
+    port (a, b : in std_logic; y : out std_logic);
+  end component;
+  signal x, z, w : std_logic;
+begin
+  u1 : gate port map (a => x, b => z, y => w);
+  u2 : gate port map (x, z, w);
+end s;
+""")
+        arch = df.architecture_of("top")
+        u1 = arch.statements[0]
+        assert isinstance(u1, ast.Instantiation)
+        assert u1.port_map[0][0] == "a"
+        u2 = arch.statements[1]
+        assert u2.port_map[0][0] == "0"  # positional
+
+
+def parse_process(body, sensitivity="(clk)", decls=""):
+    src = ENTITY + f"""
+architecture rtl of gate is
+  signal clk, s : std_logic;
+  signal v : std_logic_vector(3 downto 0);
+begin
+  p : process {sensitivity}
+  {decls}
+  begin
+  {body}
+  end process;
+end rtl;
+"""
+    return parse(src).architecture_of("gate").statements[0]
+
+
+class TestParserStatements:
+    def test_signal_assign_with_after(self):
+        p = parse_process("s <= '1' after 2 ns;")
+        stmt = p.body[0]
+        assert isinstance(stmt, ast.SignalAssign)
+        assert stmt.waveform[0][1].femtoseconds == 2 * NS
+
+    def test_multi_element_waveform(self):
+        p = parse_process("s <= '1' after 1 ns, '0' after 3 ns;")
+        assert len(p.body[0].waveform) == 2
+
+    def test_transport_and_reject(self):
+        p = parse_process("s <= transport '1' after 2 ns;")
+        assert p.body[0].transport
+        p = parse_process("s <= reject 1 ns inertial '1' after 2 ns;")
+        assert p.body[0].reject is not None
+
+    def test_if_elsif_else(self):
+        p = parse_process("""
+        if a = '1' then s <= '0';
+        elsif b = '1' then s <= '1';
+        else s <= 'X';
+        end if;
+        """)
+        stmt = p.body[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert len(stmt.arms) == 2
+        assert len(stmt.orelse) == 1
+
+    def test_case_with_others(self):
+        p = parse_process("""
+        case v is
+          when "0000" => s <= '0';
+          when "0001" | "0010" => s <= '1';
+          when others => s <= 'X';
+        end case;
+        """)
+        stmt = p.body[0]
+        assert isinstance(stmt, ast.CaseStmt)
+        assert len(stmt.arms) == 3
+        assert stmt.arms[2][0] == ()  # others
+        assert len(stmt.arms[1][0]) == 2
+
+    def test_for_loop(self):
+        p = parse_process("""
+        for i in 0 to 3 loop
+          v(i) <= '0';
+        end loop;
+        """)
+        stmt = p.body[0]
+        assert isinstance(stmt, ast.ForStmt)
+        assert not stmt.downto
+
+    def test_while_loop_and_exit(self):
+        p = parse_process("""
+        while a = '0' loop
+          exit when b = '1';
+          next;
+        end loop;
+        """)
+        stmt = p.body[0]
+        assert isinstance(stmt, ast.WhileStmt)
+        assert isinstance(stmt.body[0], ast.ExitStmt)
+        assert isinstance(stmt.body[1], ast.NextStmt)
+
+    def test_wait_variants(self):
+        p = parse_process("""
+        wait on clk;
+        wait until clk = '1';
+        wait for 10 ns;
+        wait;
+        """, sensitivity="")
+        waits = p.body
+        assert waits[0].on == ("clk",)
+        assert waits[1].until is not None
+        assert waits[2].for_time.femtoseconds == 10 * NS
+        assert waits[3] == ast.WaitStmt()
+
+    def test_variable_declaration_and_assignment(self):
+        p = parse_process("x := x + 1;",
+                          decls="variable x : integer := 0;")
+        assert isinstance(p.declarations[0], ast.VariableDecl)
+        assert isinstance(p.body[0], ast.VarAssign)
+
+    def test_assert_and_report(self):
+        p = parse_process("""
+        assert a = '1' report "bad" severity warning;
+        report "note";
+        """)
+        assert isinstance(p.body[0], ast.AssertStmt)
+        assert isinstance(p.body[1], ast.ReportStmt)
+
+    def test_slice_expression(self):
+        p = parse_process("s <= v(3 downto 1) (0);")
+        target_expr = p.body[0].waveform[0][0]
+        assert isinstance(target_expr, ast.Indexed)
+        assert isinstance(target_expr.base, ast.Sliced)
+
+    def test_aggregate_others(self):
+        p = parse_process("v <= (others => '0');")
+        expr = p.body[0].waveform[0][0]
+        assert isinstance(expr, ast.Aggregate)
+        assert expr.others is not None
+
+    def test_conditional_concurrent_assign(self):
+        df = parse(ENTITY + """
+architecture rtl of gate is
+begin
+  y <= a when b = '1' else b;
+end rtl;
+""")
+        stmt = df.architecture_of("gate").statements[0]
+        assert isinstance(stmt, ast.ConcurrentAssign)
+        assert len(stmt.arms) == 2
+        assert stmt.arms[0][1] is not None
+        assert stmt.arms[1][1] is None
+
+    def test_parse_error_reports_line(self):
+        with pytest.raises(ParseError) as err:
+            parse("entity x is port (a : in std_logic)\nend x;")
+        assert "line" in str(err.value)
+
+
+class TestExpressions:
+    def expr(self, text):
+        p = parse_process(f"s <= {text};")
+        return p.body[0].waveform[0][0]
+
+    def test_precedence_and_over_relational(self):
+        e = self.expr("a = '1' and b = '0'")
+        assert isinstance(e, ast.Binary) and e.op == "and"
+        assert e.left.op == "="
+
+    def test_arith_precedence(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_unary_not(self):
+        e = self.expr("not a")
+        assert isinstance(e, ast.Unary) and e.op == "not"
+
+    def test_concat(self):
+        e = self.expr("a & b")
+        assert e.op == "&"
+
+    def test_attribute(self):
+        e = self.expr("clk'event")
+        assert isinstance(e, ast.Attribute)
+        assert e.attr == "event"
+
+    def test_function_call_two_args(self):
+        e = self.expr("to_unsigned(7, 4)")
+        assert isinstance(e, ast.Call)
+        assert e.func == "to_unsigned"
+        assert len(e.args) == 2

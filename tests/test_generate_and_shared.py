@@ -1,0 +1,158 @@
+"""for...generate elaboration and element-wise shared-signal drivers."""
+
+import pytest
+
+from repro.circuits.fsm import reference_taps
+from repro.circuits.vhdl_text import build_fsm_from_vhdl, fsm_vhdl
+from repro.vhdl import SL_X, simulate, simulate_parallel, vector_to_str
+from repro.vhdl.frontend import elaborate
+from repro.vhdl.frontend.parser import parse
+from repro.vhdl.frontend import ast as vast
+
+
+class TestGenerateParsing:
+    def test_generate_parses(self):
+        df = parse("""
+entity t is end t;
+architecture a of t is
+  signal v : std_logic_vector(0 to 3);
+begin
+  g : for i in 0 to 3 generate
+    v(i) <= '0';
+  end generate;
+end a;
+""")
+        stmt = df.architecture_of("t").statements[0]
+        assert isinstance(stmt, vast.GenerateFor)
+        assert stmt.var == "i"
+        assert len(stmt.statements) == 1
+
+    def test_generate_requires_label(self):
+        with pytest.raises(Exception):
+            parse("""
+entity t is end t;
+architecture a of t is
+begin
+  for i in 0 to 3 generate
+  end generate;
+end a;
+""")
+
+
+class TestGenerateElaboration:
+    def test_replicates_processes_with_loop_constant(self):
+        design = elaborate("""
+entity t is end t;
+architecture a of t is
+  signal v : std_logic_vector(0 to 2) := "000";
+begin
+  g : for i in 0 to 2 generate
+    p : process
+    begin
+      if (i mod 2) = 0 then
+        v(i) <= '1';
+      else
+        v(i) <= '0';
+      end if;
+      wait;
+    end process;
+  end generate;
+end a;
+""", top="t")
+        # three generated processes, uniquely named
+        names = {lp.name for lp in design.model.lps}
+        assert {"g(0).p", "g(1).p", "g(2).p"} <= names
+        res_design = design
+        res = simulate(res_design)
+        assert vector_to_str(res.finals["v"]) == "101"
+
+    def test_nested_generate(self):
+        design = elaborate("""
+entity t is end t;
+architecture a of t is
+  signal v : std_logic_vector(0 to 3) := "0000";
+begin
+  outer : for i in 0 to 1 generate
+    inner : for j in 0 to 1 generate
+      p : process
+      begin
+        v(i * 2 + j) <= '1';
+        wait;
+      end process;
+    end generate;
+  end generate;
+end a;
+""", top="t")
+        res = simulate(design)
+        assert vector_to_str(res.finals["v"]) == "1111"
+
+
+class TestSharedElementDrivers:
+    def test_elementwise_drivers_resolve_independently(self):
+        # Two processes drive different elements of one vector: without
+        # the 'Z'-fill driver semantics their untouched elements would
+        # fight ('0' vs '1' -> 'X').
+        design = elaborate("""
+entity t is end t;
+architecture a of t is
+  signal v : std_logic_vector(0 to 1) := "00";
+begin
+  p0 : process begin v(0) <= '1'; wait; end process;
+  p1 : process begin v(1) <= '0'; wait; end process;
+end a;
+""", top="t")
+        res = simulate(design)
+        assert vector_to_str(res.finals["v"]) == "10"
+        assert SL_X not in res.finals["v"]
+
+    def test_conflicting_element_still_x(self):
+        design = elaborate("""
+entity t is end t;
+architecture a of t is
+  signal v : std_logic_vector(0 to 1) := "00";
+begin
+  p0 : process begin v(0) <= '1'; wait; end process;
+  p1 : process begin v(0) <= '0'; wait; end process;
+end a;
+""", top="t")
+        res = simulate(design)
+        assert res.finals["v"][0] is SL_X  # genuine conflict remains X
+
+    def test_single_driver_keeps_rmw_semantics(self):
+        design = elaborate("""
+entity t is end t;
+architecture a of t is
+  signal v : std_logic_vector(0 to 2) := "010";
+begin
+  p : process begin v(0) <= '1'; wait; end process;
+end a;
+""", top="t")
+        res = simulate(design)
+        # untouched elements keep the initial value, not 'Z'
+        assert vector_to_str(res.finals["v"]) == "110"
+
+
+class TestVhdlFsmRoundTrip:
+    @pytest.mark.parametrize("cells,cycles", [(4, 6), (8, 12)])
+    def test_matches_reference_recursion(self, cells, cycles):
+        design = build_fsm_from_vhdl(cells, cycles)
+        res = simulate(design)
+        got = [1 if b.to_bool() else 0 for b in res.finals["taps"]]
+        assert got == reference_taps(cells, cycles)
+
+    def test_runs_under_parallel_protocols(self):
+        ref = simulate(build_fsm_from_vhdl(5, 8))
+        for protocol in ("optimistic", "mixed", "dynamic"):
+            res = simulate_parallel(build_fsm_from_vhdl(5, 8),
+                                    processors=3, protocol=protocol,
+                                    max_steps=2_000_000)
+            assert res.traces == ref.traces, protocol
+
+    def test_source_is_plain_vhdl(self):
+        text = fsm_vhdl(4, 2)
+        assert "for i in 0 to cells - 1 generate" in text
+        assert "rising_edge" in text
+
+    def test_ring_size_validated(self):
+        with pytest.raises(ValueError):
+            fsm_vhdl(1, 2)

@@ -1,0 +1,91 @@
+"""GVT and fossil-collection invariants (DESIGN.md invariant #4)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits import build_random
+from repro.core.vtime import INFINITY, MINUS_INFINITY
+from repro.parallel.machine import ParallelMachine
+from repro.vhdl import simulate
+
+
+def run_with_gvt_log(seed, protocol, processors=4):
+    circuit = build_random(seed)
+    machine = ParallelMachine(circuit.design.elaborate(), processors,
+                              protocol=protocol)
+    gvt_log = []
+    original = machine._gvt_round
+
+    def logged(barrier):
+        original(barrier)
+        gvt_log.append(machine.gvt)
+
+    machine._gvt_round = logged
+    outcome = machine.run(max_steps=5_000_000)
+    return machine, outcome, gvt_log, circuit
+
+
+class TestGvtMonotonicity:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6),
+           protocol=st.sampled_from(["optimistic", "conservative",
+                                     "dynamic"]))
+    def test_gvt_never_decreases(self, seed, protocol):
+        _m, _o, gvt_log, _c = run_with_gvt_log(seed, protocol)
+        for earlier, later in zip(gvt_log, gvt_log[1:]):
+            assert earlier <= later
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6))
+    def test_no_rollback_below_gvt(self, seed):
+        """Fossil-collected (committed) work is never rolled back.
+
+        Instrumented directly: every rollback's target time must be at
+        or above the GVT bound the processor holds at that moment.
+        """
+        circuit = build_random(seed)
+        machine = ParallelMachine(circuit.design.elaborate(), 4,
+                                  protocol="optimistic")
+        violations = []
+        for proc in machine.procs:
+            orig = proc._rollback
+
+            def make(orig, proc):
+                def wrapped(runtime, index):
+                    entries = runtime.processed
+                    if index < len(entries):
+                        target = entries[index].event.time
+                        if proc.gvt_bound != MINUS_INFINITY and \
+                                target < proc.gvt_bound:
+                            violations.append(
+                                (runtime.lp.name, target,
+                                 proc.gvt_bound))
+                    orig(runtime, index)
+                return wrapped
+
+            proc._rollback = make(orig, proc)
+        machine.run(max_steps=5_000_000)
+        assert violations == []
+
+
+class TestCommitConservation:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6),
+           protocol=st.sampled_from(["optimistic", "conservative",
+                                     "mixed", "dynamic"]))
+    def test_committed_equals_sequential(self, seed, protocol):
+        ref = simulate(build_random(seed).design)
+        _m, outcome, _log, _c = run_with_gvt_log(seed, protocol)
+        assert outcome.stats.events_committed == \
+            ref.stats.events_committed
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6))
+    def test_fossils_bounded_by_commits(self, seed):
+        _m, outcome, _log, _c = run_with_gvt_log(seed, "optimistic")
+        assert outcome.stats.fossils_collected <= \
+            outcome.stats.events_committed

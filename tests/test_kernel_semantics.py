@@ -1,0 +1,230 @@
+"""End-to-end VHDL simulation-cycle semantics on the sequential engine.
+
+These tests pin down the distributed VHDL cycle of the paper's Sec. 3.3:
+delta-cycle ordering, resolution-after-all-transactions, run-after-all-
+updates, timeout cancellation — the exact cases the paper lists as
+"problematic simultaneous events".
+"""
+
+import pytest
+
+from repro.core import NS
+from repro.vhdl import (ClockedBody, CombinationalBody, Design,
+                        GeneratorBody, SL_0, SL_1, SL_X, SL_Z, Wait,
+                        simulate, sl)
+
+
+def pulse_stim(signal, schedule):
+    """A generator stimulus assigning (value, at_fs) pairs to signal."""
+    def gen(api):
+        now = 0
+        for value, at in schedule:
+            if at > now:
+                yield Wait(for_fs=at - now)
+                now = at
+            api.assign(signal.lp_id, value)
+    return gen
+
+
+class TestDeltaCycles:
+    def test_delta_chain_increments_lt_by_three(self):
+        d = Design("chain")
+        a = d.signal("a", SL_0, traced=True)
+        b = d.signal("b", SL_0, traced=True)
+        c = d.signal("c", SL_0, traced=True)
+        d.process("buf1", CombinationalBody([a], [b], lambda v: v))
+        d.process("buf2", CombinationalBody([b], [c], lambda v: v))
+        d.stimulus("stim", pulse_stim(a, [(SL_1, 1 * NS)]), drives=[a])
+        res = simulate(d)
+        (ta, _), = res.trace("a")
+        (tb, _), = res.trace("b")
+        (tc, _), = res.trace("c")
+        assert ta.pt == tb.pt == tc.pt == 1 * NS
+        assert tb.lt == ta.lt + 3
+        assert tc.lt == tb.lt + 3
+
+    def test_zero_delay_oscillator_loops_in_delta_time(self):
+        # An inverter feeding itself never settles: physical time must
+        # not advance, only the delta counter.
+        d = Design("osc")
+        a = d.signal("a", SL_0, traced=True)
+        d.process("inv", CombinationalBody([a], [a], lambda v: ~v))
+        res = simulate(d, max_events=200)
+        assert all(t.pt == 0 for t, _ in res.trace("a"))
+        assert len(res.trace("a")) > 10
+
+    def test_nonzero_delay_breaks_oscillation_into_physical_time(self):
+        d = Design("osc2")
+        a = d.signal("a", SL_0, traced=True)
+        d.process("inv", CombinationalBody([a], [a], lambda v: ~v,
+                                           delay_fs=2 * NS))
+        res = simulate(d, until=11 * NS)
+        times = [t.pt for t, _ in res.trace("a")]
+        assert times == [2 * NS, 4 * NS, 6 * NS, 8 * NS, 10 * NS]
+
+
+class TestResolution:
+    def test_resolution_applied_after_all_simultaneous_transactions(self):
+        # Two drivers schedule transactions for the same instant; the
+        # effective value must be the resolution of both, never an
+        # intermediate value of just one.
+        d = Design("res")
+        bus = d.signal("bus", SL_Z, traced=True)
+        d.stimulus("d1", pulse_stim(bus, [(SL_0, 1 * NS)]), drives=[bus])
+        d.stimulus("d2", pulse_stim(bus, [(SL_1, 1 * NS)]), drives=[bus])
+        res = simulate(d)
+        assert [v for _, v in res.trace("bus")] == [SL_X]
+
+    def test_z_release_returns_bus_to_other_driver(self):
+        d = Design("res2")
+        bus = d.signal("bus", SL_Z, traced=True)
+        d.stimulus("d1", pulse_stim(bus, [(SL_0, 1 * NS)]), drives=[bus])
+        d.stimulus("d2", pulse_stim(bus, [(SL_1, 2 * NS), (SL_Z, 4 * NS)]),
+                   drives=[bus])
+        res = simulate(d)
+        assert [(t.pt, v) for t, v in res.trace("bus")] == [
+            (1 * NS, SL_0), (2 * NS, SL_X), (4 * NS, SL_0)]
+
+    def test_custom_resolution_function(self):
+        # A wired-AND bus.
+        def wired_and(values):
+            out = SL_1
+            for v in values:
+                out = out & v
+            return out
+
+        d = Design("wand")
+        bus = d.signal("bus", SL_1, resolution=wired_and, traced=True)
+        d.stimulus("d1", pulse_stim(bus, [(SL_1, 1 * NS)]), drives=[bus])
+        d.stimulus("d2", pulse_stim(bus, [(SL_0, 2 * NS)]), drives=[bus])
+        res = simulate(d)
+        assert [(t.pt, v) for t, v in res.trace("bus")] == [(2 * NS, SL_0)]
+
+
+class TestProcessRunOrdering:
+    def test_process_sees_all_simultaneous_updates(self):
+        # A process sensitive to two signals that change in the same
+        # delta must observe both new values in its single run.
+        d = Design("multiupd")
+        src = d.signal("src", SL_0)
+        a = d.signal("a", SL_0)
+        b = d.signal("b", SL_0)
+        seen = []
+
+        d.process("fan1", CombinationalBody([src], [a], lambda v: v))
+        d.process("fan2", CombinationalBody([src], [b], lambda v: v))
+
+        class Watcher(CombinationalBody):
+            def resume(self, api):
+                seen.append((api.read(a.lp_id), api.read(b.lp_id)))
+                return super().resume(api)
+
+        out = d.signal("out", SL_0)
+        d.process("watch", Watcher([a, b], [out],
+                                   lambda x, y: x & y))
+        d.stimulus("stim", pulse_stim(src, [(SL_1, 1 * NS)]), drives=[src])
+        simulate(d)
+        # a and b change in the same delta; the watcher runs once and
+        # sees both already updated.
+        assert seen == [(SL_1, SL_1)]
+
+    def test_no_glitch_between_simultaneous_updates(self):
+        # out = a xor b with a == b always: must never publish '1'.
+        d = Design("noglitch")
+        src = d.signal("src", SL_0)
+        a = d.signal("a", SL_0)
+        b = d.signal("b", SL_0)
+        out = d.signal("out", SL_0, traced=True)
+        d.process("fan1", CombinationalBody([src], [a], lambda v: v))
+        d.process("fan2", CombinationalBody([src], [b], lambda v: v))
+        d.process("xor", CombinationalBody([a, b], [out],
+                                           lambda x, y: x ^ y))
+        d.stimulus("stim", pulse_stim(src, [(SL_1, 1 * NS),
+                                            (SL_0, 2 * NS)]), drives=[src])
+        res = simulate(d)
+        assert res.trace("out") == []
+        assert res.finals["out"] is SL_0
+
+
+class TestDelayMechanisms:
+    def test_inertial_swallows_short_pulse_end_to_end(self):
+        d = Design("inertial")
+        a = d.signal("a", SL_0)
+        y = d.signal("y", SL_0, traced=True)
+        d.process("buf", CombinationalBody([a], [y], lambda v: v,
+                                           delay_fs=5 * NS))
+        # 2 ns pulse through a 5 ns inertial buffer: swallowed.
+        d.stimulus("stim", pulse_stim(a, [(SL_1, 10 * NS),
+                                          (SL_0, 12 * NS)]), drives=[a])
+        res = simulate(d)
+        assert res.trace("y") == []
+
+    def test_transport_passes_short_pulse(self):
+        d = Design("transport")
+        a = d.signal("a", SL_0)
+        y = d.signal("y", SL_0, traced=True)
+        d.process("buf", CombinationalBody([a], [y], lambda v: v,
+                                           delay_fs=5 * NS,
+                                           transport=True))
+        d.stimulus("stim", pulse_stim(a, [(SL_1, 10 * NS),
+                                          (SL_0, 12 * NS)]), drives=[a])
+        res = simulate(d)
+        assert [(t.pt, v) for t, v in res.trace("y")] == [
+            (15 * NS, SL_1), (17 * NS, SL_0)]
+
+
+class TestWaitSemantics:
+    def test_wait_until_with_timeout_whichever_first(self):
+        d = Design("wut")
+        go = d.signal("go", SL_0)
+        log = []
+
+        def gen(api):
+            # Wakes on go='1' or after 100 ns, whichever happens first.
+            yield Wait(on=frozenset({go.lp_id}),
+                       until=lambda a: a.read(go.lp_id) is SL_1,
+                       for_fs=100 * NS)
+            log.append(api.now_fs)
+
+        d.stimulus("waiter", gen, reads=[go])
+        d.stimulus("stim", pulse_stim(go, [(SL_1, 7 * NS)]), drives=[go])
+        simulate(d)
+        assert log == [7 * NS]
+
+    def test_wait_timeout_fires_when_no_event(self):
+        d = Design("wt")
+        go = d.signal("go", SL_0)
+        log = []
+
+        def gen(api):
+            yield Wait(on=frozenset({go.lp_id}),
+                       until=lambda a: a.read(go.lp_id) is SL_1,
+                       for_fs=100 * NS)
+            log.append(api.now_fs)
+
+        d.stimulus("waiter", gen, reads=[go])
+        simulate(d)
+        assert log == [100 * NS]
+
+    def test_wait_for_zero_resumes_next_delta(self):
+        d = Design("w0")
+        log = []
+
+        def gen(api):
+            log.append(api.now)
+            yield Wait(for_fs=0)
+            log.append(api.now)
+
+        d.stimulus("p", gen)
+        simulate(d)
+        assert log[0].pt == log[1].pt == 0
+        assert log[1].lt == log[0].lt + 3
+
+
+class TestStimulusReuseGuard:
+    def test_design_cannot_be_simulated_twice(self):
+        d = Design("once")
+        d.signal("s", SL_0)
+        simulate(d)
+        with pytest.raises(RuntimeError):
+            simulate(d)

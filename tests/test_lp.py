@@ -1,0 +1,127 @@
+"""Logical process base class: emission API, causality, checkpointing."""
+
+import pytest
+
+from repro.core.event import EventKind
+from repro.core.lp import Channel, FunctionLP, LogicalProcess, SinkLP
+from repro.core.vtime import VirtualTime, ZERO
+
+
+class Stateful(LogicalProcess):
+    state_attrs = ("counter", "items")
+
+    def __init__(self):
+        super().__init__("stateful")
+        self.counter = 0
+        self.items = []
+
+    def simulate(self, event):
+        self.counter += 1
+        self.items.append(event.payload)
+
+
+class TestEmission:
+    def test_send_collects_in_outbox(self):
+        lp = FunctionLP("a", lambda lp, e: None)
+        lp.lp_id = 0
+        lp.now = VirtualTime(5, 2)
+        e = lp.send(3, VirtualTime(6, 0), EventKind.USER, "hi")
+        assert e.dst == 3
+        assert e.src == 0
+        assert e.send_time == VirtualTime(5, 2)
+        assert lp.drain_outbox() == [e]
+        assert lp.drain_outbox() == []
+
+    def test_send_into_past_rejected(self):
+        lp = FunctionLP("a", lambda lp, e: None)
+        lp.lp_id = 0
+        lp.now = VirtualTime(5, 2)
+        with pytest.raises(ValueError):
+            lp.send(1, VirtualTime(5, 1), EventKind.USER)
+        with pytest.raises(ValueError):
+            lp.send(1, VirtualTime(4, 99), EventKind.USER)
+
+    def test_send_at_now_allowed(self):
+        lp = FunctionLP("a", lambda lp, e: None)
+        lp.lp_id = 0
+        lp.now = VirtualTime(5, 2)
+        lp.send(1, VirtualTime(5, 2), EventKind.USER)
+
+    def test_schedule_targets_self(self):
+        lp = FunctionLP("a", lambda lp, e: None)
+        lp.lp_id = 7
+        e = lp.schedule(VirtualTime(1, 0), EventKind.USER)
+        assert e.dst == 7
+
+    def test_event_ids_monotone_per_lp(self):
+        lp = FunctionLP("a", lambda lp, e: None)
+        lp.lp_id = 2
+        e1 = lp.send(0, VirtualTime(1, 0), EventKind.USER)
+        e2 = lp.send(0, VirtualTime(1, 0), EventKind.USER)
+        assert e1.eid.src == e2.eid.src == 2
+        assert e1.eid.seq < e2.eid.seq
+
+    def test_init_events_use_on_init_hook(self):
+        def boot(lp):
+            lp.schedule(VirtualTime(0, 0), EventKind.USER, "boot")
+        lp = FunctionLP("a", lambda lp, e: None, on_init=boot)
+        lp.lp_id = 0
+        events = list(lp.init_events())
+        assert len(events) == 1
+        assert events[0].payload == "boot"
+
+
+class TestCheckpointing:
+    def test_default_snapshot_deep_copies_state_attrs(self):
+        lp = Stateful()
+        lp.items.append([1, 2])
+        snap = lp.snapshot()
+        lp.counter = 10
+        lp.items[0].append(3)
+        lp.restore(snap)
+        assert lp.counter == 0
+        assert lp.items == [[1, 2]]
+
+    def test_snapshot_isolated_from_later_mutation(self):
+        lp = Stateful()
+        snap = lp.snapshot()
+        lp.items.append("x")
+        lp.restore(snap)
+        assert lp.items == []
+
+    def test_sequence_counter_not_restored(self):
+        # Event ids must never be reused after a rollback.
+        lp = Stateful()
+        lp.lp_id = 0
+        snap = lp.snapshot()
+        e1 = lp.send(1, VirtualTime(1, 0), EventKind.USER)
+        lp.restore(snap)
+        e2 = lp.send(1, VirtualTime(1, 0), EventKind.USER)
+        assert e2.eid != e1.eid
+
+
+class TestHelpers:
+    def test_sink_records(self):
+        sink = SinkLP()
+        sink.lp_id = 0
+        sink.now = ZERO
+
+        class E:
+            payload = "p"
+        from repro.core.event import Event
+        ev = Event(time=VirtualTime(1, 0), kind=EventKind.USER, dst=0,
+                   src=1, payload="p")
+        sink.simulate(ev)
+        assert sink.received == [ev]
+
+    def test_channel_repr(self):
+        ch = Channel(1, 2, None)
+        assert "1->2" in repr(ch)
+
+    def test_double_registration_guard(self):
+        from repro.core.model import Model
+        model = Model()
+        lp = SinkLP("s")
+        model.add_lp(lp)
+        with pytest.raises(ValueError):
+            model.add_lp(lp)

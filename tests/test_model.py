@@ -1,0 +1,62 @@
+"""Model graph: registration, channels, validation, sync modes."""
+
+import pytest
+
+from repro.core.lp import SinkLP
+from repro.core.model import Model, SyncMode
+from repro.core.vtime import VirtualTime
+
+
+def two_lp_model():
+    model = Model()
+    a, b = SinkLP("a"), SinkLP("b")
+    model.add_lp(a)
+    model.add_lp(b)
+    return model, a, b
+
+
+class TestConstruction:
+    def test_dense_ids(self):
+        model, a, b = two_lp_model()
+        assert (a.lp_id, b.lp_id) == (0, 1)
+        assert len(model) == 2
+        assert model.lp(0) is a
+
+    def test_connect_records_topology(self):
+        model, a, b = two_lp_model()
+        model.connect(a, b)
+        assert model.successors(a.lp_id) == {b.lp_id}
+        assert model.predecessors(b.lp_id) == {a.lp_id}
+        assert model.predecessors(a.lp_id) == set()
+        assert list(model.edges()) == [(0, 1)]
+
+    def test_reconnect_updates_lookahead(self):
+        model, a, b = two_lp_model()
+        model.connect(a, b)
+        model.connect(a, b, lookahead=VirtualTime(5, 0))
+        assert model.channels[(0, 1)].lookahead == VirtualTime(5, 0)
+        assert len(model.channels) == 1
+
+    def test_default_mode_and_override(self):
+        model = Model()
+        lp = SinkLP("x")
+        model.add_lp(lp, SyncMode.CONSERVATIVE)
+        assert model.sync_modes[lp.lp_id] is SyncMode.CONSERVATIVE
+        model.set_mode(lp, SyncMode.DYNAMIC)
+        assert model.sync_modes[lp.lp_id] is SyncMode.DYNAMIC
+        model.set_all_modes(SyncMode.OPTIMISTIC)
+        assert model.sync_modes[lp.lp_id] is SyncMode.OPTIMISTIC
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        model = Model()
+        model.add_lp(SinkLP("dup"))
+        model.add_lp(SinkLP("dup"))
+        with pytest.raises(ValueError):
+            model.validate()
+
+    def test_valid_model_passes(self):
+        model, a, b = two_lp_model()
+        model.connect(a, b)
+        model.validate()

@@ -1,0 +1,329 @@
+"""Protocol engine internals: Time Warp, conservative safety, adaptation.
+
+These tests drive Processor/LPRuntime directly with hand-built events to
+pin down the synchronization mechanics independent of the VHDL layer.
+"""
+
+import pytest
+
+from repro.core.event import Event, EventId, EventKind
+from repro.core.lp import FunctionLP
+from repro.core.model import Model, SyncMode
+from repro.core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
+from repro.parallel.cost import CostModel
+from repro.parallel.engine import (AdaptPolicy, LPRuntime, Processor,
+                                   ProtocolError)
+
+
+class Echo(FunctionLP):
+    """Records payloads; forwards each event to `target` 1 time unit on."""
+
+    def __init__(self, name, target=None):
+        def fn(lp, event):
+            lp.memory.setdefault("log", []).append(
+                (event.time, event.payload))
+            if target is not None:
+                lp.send(target, VirtualTime(event.time.pt + 1, 0),
+                        EventKind.USER, event.payload)
+        super().__init__(name, fn)
+
+    @property
+    def log(self):
+        return self.memory.get("log", [])
+
+
+def build(modes, targets=None):
+    """Build a single Processor owning LPs with the given modes."""
+    model = Model()
+    lps = []
+    targets = targets or {}
+    for i, mode in enumerate(modes):
+        lp = Echo(f"lp{i}", targets.get(i))
+        model.add_lp(lp, mode)
+        lps.append(lp)
+    for i, t in (targets or {}).items():
+        model.connect(lps[i], lps[t])
+    proc = Processor(0, CostModel())
+    runtimes = {}
+    for lp in lps:
+        rt = LPRuntime(lp, model.sync_modes[lp.lp_id],
+                       model.predecessors(lp.lp_id),
+                       model.successors(lp.lp_id))
+        runtimes[lp.lp_id] = rt
+        proc.adopt(rt)
+    proc.runtime_of = runtimes.__getitem__
+    sent = []
+    proc.route = sent.append
+    proc.gvt_bound = MINUS_INFINITY
+    runtime_list = [runtimes[i] for i in range(len(lps))]
+    return proc, lps, runtime_list, sent
+
+
+def ev(dst, pt, payload=None, src=99, seq=None, lt=0, send_pt=None):
+    return Event(time=VirtualTime(pt, lt), kind=EventKind.USER, dst=dst,
+                 src=src, payload=payload,
+                 eid=EventId(src, seq if seq is not None else pt),
+                 send_time=VirtualTime(send_pt if send_pt is not None
+                                       else pt, 0))
+
+
+class TestOptimisticExecution:
+    def test_executes_in_timestamp_order(self):
+        proc, (lp,), _, _ = build([SyncMode.OPTIMISTIC])
+        for pt in (3, 1, 2):
+            proc.seed(ev(0, pt, payload=pt))
+        while proc.act():
+            pass
+        assert [p for _, p in lp.log] == [1, 2, 3]
+
+    def test_straggler_triggers_rollback(self):
+        proc, (lp,), (rt,), _ = build([SyncMode.OPTIMISTIC])
+        proc.seed(ev(0, 10, payload="late"))
+        while proc.act():
+            pass
+        assert [p for _, p in lp.log] == ["late"]
+        proc.seed(ev(0, 5, payload="early"))  # straggler
+        while proc.act():
+            pass
+        assert [p for _, p in lp.log] == ["early", "late"]
+        assert proc.stats.rollbacks == 1
+        assert proc.stats.events_rolled_back == 1
+
+    def test_equal_timestamp_is_not_a_straggler(self):
+        # The arbitrary simultaneous-event model: equal times commute.
+        proc, (lp,), _, _ = build([SyncMode.OPTIMISTIC])
+        proc.seed(ev(0, 10, payload="a", seq=1))
+        while proc.act():
+            pass
+        proc.seed(ev(0, 10, payload="b", seq=2))
+        while proc.act():
+            pass
+        assert proc.stats.rollbacks == 0
+        assert [p for _, p in lp.log] == ["a", "b"]
+
+    def test_user_consistent_rolls_back_on_equal_timestamp(self):
+        proc, (lp,), _, _ = build([SyncMode.OPTIMISTIC])
+        proc.user_consistent = True
+        proc.seed(ev(0, 10, payload="a", seq=1))
+        while proc.act():
+            pass
+        proc.seed(ev(0, 10, payload="b", seq=2))
+        while proc.act():
+            pass
+        assert proc.stats.rollbacks == 1
+        # Both events execute after the re-processing.
+        assert sorted(p for _, p in lp.log) == ["a", "a", "b"][1:] or \
+            sorted(p for _, p in lp.log[-2:]) == ["a", "b"]
+
+    def test_rollback_restores_state(self):
+        proc, (lp,), _, _ = build([SyncMode.OPTIMISTIC])
+        proc.seed(ev(0, 10, payload="x"))
+        while proc.act():
+            pass
+        proc.seed(ev(0, 1, payload="w"))
+        while proc.act():
+            pass
+        # After rollback + re-execution the log is in correct order:
+        assert [p for _, p in lp.log] == ["w", "x"]
+
+    def test_rollback_sends_antimessages(self):
+        proc, lps, rts, sent = build(
+            [SyncMode.OPTIMISTIC, SyncMode.OPTIMISTIC], targets={0: 1})
+        proc.seed(ev(0, 10, payload="x"))
+        while proc.act():
+            pass
+        forwarded = [e for e in sent if e.sign > 0]
+        assert len(forwarded) == 1
+        proc.seed(ev(0, 5, payload="w"))  # straggler squashes the send
+        while proc.act():
+            pass
+        antis = [e for e in sent if e.sign < 0]
+        assert len(antis) == 1
+        assert antis[0].eid == forwarded[0].eid
+
+
+class TestAnnihilation:
+    def test_negative_cancels_queued_positive(self):
+        proc, (lp,), (rt,), _ = build([SyncMode.OPTIMISTIC])
+        pos = ev(0, 5, payload="p", seq=42)
+        proc.seed(pos)
+        proc.deliver(pos.antimessage())
+        while proc.act():
+            pass
+        assert lp.log == []
+        assert proc.stats.annihilations == 1
+
+    def test_negative_rolls_back_processed_positive(self):
+        proc, (lp,), _, _ = build([SyncMode.OPTIMISTIC])
+        pos = ev(0, 5, payload="p", seq=42)
+        proc.seed(pos)
+        while proc.act():
+            pass
+        assert [p for _, p in lp.log] == ["p"]
+        proc.deliver(pos.antimessage())
+        while proc.act():
+            pass
+        assert proc.stats.rollbacks == 1
+        # The cancelled event is never re-executed and its state effects
+        # are fully undone.
+        assert lp.log == []
+
+    def test_negative_before_positive_is_parked(self):
+        proc, (lp,), (rt,), _ = build([SyncMode.OPTIMISTIC])
+        pos = ev(0, 5, payload="p", seq=42)
+        proc.deliver(pos.antimessage())
+        assert pos.eid in rt.negatives
+        proc.deliver(pos)
+        while proc.act():
+            pass
+        assert lp.log == []
+        assert proc.stats.annihilations == 1
+
+
+class TestConservativeSafety:
+    def test_blocks_until_channel_promise_covers_event(self):
+        proc, lps, rts, _ = build(
+            [SyncMode.CONSERVATIVE, SyncMode.CONSERVATIVE], targets={0: 1})
+        # LP1 has a predecessor (LP0); an event at t=5 from elsewhere is
+        # unsafe until LP0's channel promises >= 5.
+        rts[1].push(ev(1, 5, payload="x"))
+        proc._arm(rts[1])
+        while proc.act():
+            pass
+        assert lps[1].log == []
+        assert 1 in proc.blocked
+        # A message from LP0 with send_time 7 raises the promise (epoch
+        # stamped by the fabric at send time; 0 = LP0's current epoch).
+        msg = Event(time=VirtualTime(7, 0), kind=EventKind.USER, dst=1,
+                    src=0, payload="y", eid=EventId(0, 1),
+                    send_time=VirtualTime(7, 0), epoch=0)
+        proc.deliver(msg)
+        while proc.act():
+            pass
+        assert [p for _, p in lps[1].log] == ["x", "y"]
+
+    def test_gvt_bound_unblocks(self):
+        proc, lps, rts, _ = build(
+            [SyncMode.CONSERVATIVE, SyncMode.CONSERVATIVE], targets={0: 1})
+        rts[1].push(ev(1, 5, payload="x"))
+        proc._arm(rts[1])
+        while proc.act():
+            pass
+        assert lps[1].log == []
+        proc.gvt_bound = VirtualTime(5, 0)
+        proc.rearm_blocked()
+        while proc.act():
+            pass
+        assert [p for _, p in lps[1].log] == ["x"]
+
+    def test_source_lp_always_safe(self):
+        # No predecessors -> bound is +infinity.
+        proc, (lp,), _, _ = build([SyncMode.CONSERVATIVE])
+        proc.seed(ev(0, 100))
+        while proc.act():
+            pass
+        assert len(lp.log) == 1
+
+    def test_optimistic_sender_bound_is_gvt(self):
+        proc, lps, rts, _ = build(
+            [SyncMode.OPTIMISTIC, SyncMode.CONSERVATIVE], targets={0: 1})
+        # Promise from an optimistic sender must NOT be trusted.
+        msg = Event(time=VirtualTime(7, 0), kind=EventKind.USER, dst=1,
+                    src=0, payload="y", eid=EventId(0, 1),
+                    send_time=VirtualTime(7, 0))
+        proc.deliver(msg)
+        while proc.act():
+            pass
+        assert lps[1].log == []  # gvt_bound is -inf: nothing safe
+        proc.gvt_bound = VirtualTime(7, 0)
+        proc.rearm_blocked()
+        while proc.act():
+            pass
+        assert [p for _, p in lps[1].log] == ["y"]
+
+    def test_straggler_at_conservative_lp_is_protocol_error(self):
+        proc, (lp,), (rt,), _ = build([SyncMode.CONSERVATIVE])
+        proc.seed(ev(0, 10))
+        while proc.act():
+            pass
+        with pytest.raises(ProtocolError):
+            proc.deliver(ev(0, 3))
+
+    def test_epoch_invalidates_stale_promises(self):
+        proc, lps, rts, _ = build(
+            [SyncMode.CONSERVATIVE, SyncMode.CONSERVATIVE], targets={0: 1})
+        msg = Event(time=VirtualTime(9, 0), kind=EventKind.USER, dst=1,
+                    src=0, payload="y", eid=EventId(0, 1),
+                    send_time=VirtualTime(9, 0), epoch=0)
+        proc.deliver(msg)
+        # Sender re-enters conservative mode (epoch bump): old promise is
+        # no longer valid, so the event must wait for the GVT bound.
+        rts[0].cons_epoch += 1
+        rts[1].push(ev(1, 5, payload="x"))
+        proc._arm(rts[1])
+        while proc.act():
+            pass
+        assert lps[1].log == []
+
+
+class TestModeResolution:
+    def test_dynamic_resolves_by_checkpointability(self):
+        model = Model()
+        lp = Echo("a")
+        model.add_lp(lp)
+        rt = LPRuntime(lp, SyncMode.DYNAMIC, set(), set())
+        assert rt.mode is SyncMode.OPTIMISTIC
+        assert rt.dynamic
+
+    def test_non_checkpointable_forced_conservative(self):
+        lp = Echo("a")
+        lp.checkpointable = False
+        rt = LPRuntime(lp, SyncMode.OPTIMISTIC, set(), set())
+        assert rt.mode is SyncMode.CONSERVATIVE
+        rt2 = LPRuntime(lp, SyncMode.DYNAMIC, set(), set())
+        assert rt2.mode is SyncMode.CONSERVATIVE
+        assert not rt2.dynamic
+
+
+class TestAdaptation:
+    def test_high_rollback_ratio_switches_to_conservative(self):
+        proc, (lp,), (rt,), _ = build([SyncMode.OPTIMISTIC])
+        rt.dynamic = True
+        proc.adapt = AdaptPolicy(window=4, rollback_ratio_high=0.4,
+                                 dwell=4)
+        proc.gvt_bound = VirtualTime(0, 0)
+        # Alternate: execute ahead, then straggle, repeatedly, until the
+        # adaptation kicks in (further stragglers would then be protocol
+        # errors, since a conservative LP must never see one).
+        seq = 0
+        for round_ in range(12):
+            if rt.mode is SyncMode.CONSERVATIVE:
+                break
+            seq += 1
+            proc.seed(ev(0, 1000 + round_, seq=seq))
+            while proc.act():
+                pass
+            if rt.mode is SyncMode.CONSERVATIVE:
+                break
+            seq += 1
+            proc.seed(ev(0, 100 + round_, seq=seq))  # straggler
+            while proc.act():
+                pass
+        assert rt.mode is SyncMode.CONSERVATIVE
+        assert proc.stats.mode_switches >= 1
+
+    def test_blocked_streak_switches_to_optimistic(self):
+        proc, lps, rts, _ = build(
+            [SyncMode.CONSERVATIVE, SyncMode.CONSERVATIVE], targets={0: 1})
+        rts[1].dynamic = True
+        rts[1].since_switch = 10**9  # dwell satisfied
+        proc.adapt = AdaptPolicy(blocked_polls_high=3, dwell=0)
+        rts[1].push(ev(1, 5))
+        for _ in range(5):
+            proc._arm(rts[1])
+            proc.act()
+        assert rts[1].mode is SyncMode.OPTIMISTIC
+        # Now the event executes optimistically.
+        while proc.act():
+            pass
+        assert len(lps[1].log) == 1

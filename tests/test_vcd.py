@@ -1,0 +1,82 @@
+"""VCD export."""
+
+import pytest
+
+from repro.analysis.vcd import vcd_string, write_vcd
+from repro.core import NS
+from repro.vhdl import (ClockedBody, CombinationalBody, Design, SL_0,
+                        Wait, simulate, sl)
+
+
+@pytest.fixture()
+def result():
+    design = Design("vcd")
+    clk = design.signal("clk", SL_0, traced=True)
+    q = design.signal_vector("q", 2, traced=True)
+    design.clock("clkgen", clk, period_fs=10 * NS, cycles=3)
+    ids = [w.lp_id for w in q]
+
+    def count(state, inputs, api):
+        state["n"] = (state["n"] + 1) % 4
+        return {ids[b]: sl((state["n"] >> b) & 1) for b in range(2)}
+
+    design.process("cnt", ClockedBody(clock=clk, inputs=[], outputs=q,
+                                      fn=count, initial_state={"n": 0}))
+    return simulate(design)
+
+
+class TestVcd:
+    def test_header_and_vars(self, result):
+        text = vcd_string(result)
+        assert "$timescale 1 ns $end" in text  # 5 ns edges -> ns scale
+        assert "$var wire 1" in text
+        assert "clk" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+
+    def test_change_lines_monotone_times(self, result):
+        text = vcd_string(result)
+        times = [int(line[1:]) for line in text.splitlines()
+                 if line.startswith("#")]
+        assert times == sorted(times)
+        assert times[0] == 0
+
+    def test_scalar_and_changes_present(self, result):
+        text = vcd_string(result)
+        # clk toggles every 5 ns: expect #5, #10, ...
+        assert "#5" in text
+        assert "#10" in text
+
+    def test_signal_selection(self, result):
+        text = vcd_string(result, signals=["clk"])
+        assert "clk" in text
+        assert "q[0]" not in text
+
+    def test_unknown_signal_rejected(self, result):
+        with pytest.raises(KeyError):
+            vcd_string(result, signals=["nope"])
+
+    def test_write_to_path(self, result, tmp_path):
+        path = tmp_path / "wave.vcd"
+        write_vcd(result, str(path))
+        assert path.read_text().startswith("$date")
+
+    def test_delta_collapse_keeps_last_value(self):
+        # A zero-delay chain changes b twice at the same pt via deltas;
+        # VCD must show only the final value per physical time.
+        design = Design("deltas")
+        a = design.signal("a", SL_0)
+        b = design.signal("b", SL_0, traced=True)
+        design.process("buf", CombinationalBody([a], [b], lambda v: v))
+        design.process("inv", CombinationalBody([a], [b], lambda v: v))
+
+        def stim(api):
+            yield Wait(for_fs=1 * NS)
+            api.assign(a.lp_id, sl("1"))
+
+        design.stimulus("stim", stim, drives=[a])
+        res = simulate(design)
+        text = vcd_string(res)
+        lines = [ln for ln in text.splitlines() if ln.startswith("#")]
+        # only one time point (plus #0) despite multiple delta changes
+        assert len(lines) == 2

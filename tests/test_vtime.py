@@ -1,0 +1,122 @@
+"""Virtual time: the (pt, lt) pair and its order relation (paper Sec. 3.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.vtime import (FS, INFINITY, MINUS_INFINITY, MS, NS,
+                              PHASE_ASSIGN, PHASE_DRIVING, PHASE_EFFECTIVE,
+                              PHASES_PER_CYCLE, PS, SEC, US, VirtualTime,
+                              ZERO, format_time, parse_time, vt_min)
+
+times = st.builds(VirtualTime,
+                  st.integers(min_value=0, max_value=10**12),
+                  st.integers(min_value=0, max_value=10**6))
+
+
+class TestOrdering:
+    def test_paper_order_relation(self):
+        # vt1 < vt2 iff pt1 < pt2 or (pt1 == pt2 and lt1 < lt2).
+        assert VirtualTime(1, 999) < VirtualTime(2, 0)
+        assert VirtualTime(5, 3) < VirtualTime(5, 4)
+        assert not VirtualTime(5, 4) < VirtualTime(5, 4)
+
+    @given(times, times)
+    def test_lexicographic(self, a, b):
+        expected = (a.pt, a.lt) < (b.pt, b.lt)
+        assert (a < b) == expected
+
+    @given(times, times, times)
+    def test_total_order_transitive(self, a, b, c):
+        if a <= b and b <= c:
+            assert a <= c
+
+    @given(times)
+    def test_infinities(self, t):
+        assert t < INFINITY
+        assert MINUS_INFINITY < t
+
+    def test_vt_min(self):
+        assert vt_min() == INFINITY
+        assert vt_min(VirtualTime(3, 1), VirtualTime(2, 9)) == \
+            VirtualTime(2, 9)
+
+
+class TestPhases:
+    def test_phase_cycle(self):
+        assert VirtualTime(0, 0).phase == PHASE_ASSIGN
+        assert VirtualTime(0, 1).phase == PHASE_DRIVING
+        assert VirtualTime(0, 2).phase == PHASE_EFFECTIVE
+        assert VirtualTime(0, 3).phase == PHASE_ASSIGN
+
+    def test_next_phase(self):
+        t = VirtualTime(10, 3)
+        assert t.next_phase() == VirtualTime(10, 4)
+
+    def test_next_delta_advances_three_phases(self):
+        t = VirtualTime(10, 4)
+        assert t.next_delta() == VirtualTime(10, 7)
+        assert t.next_delta().phase == t.phase
+
+    def test_with_phase_stays_if_matching(self):
+        t = VirtualTime(10, 3)
+        assert t.with_phase(PHASE_ASSIGN) == t
+        assert t.with_phase(PHASE_DRIVING) == VirtualTime(10, 4)
+        assert t.with_phase(PHASE_EFFECTIVE) == VirtualTime(10, 5)
+
+    @given(times, st.integers(min_value=1, max_value=10**9),
+           st.sampled_from([PHASE_ASSIGN, PHASE_DRIVING, PHASE_EFFECTIVE]))
+    def test_advance_monotone_and_lands_on_phase(self, t, dt, phase):
+        nxt = t.advance(dt, phase)
+        assert nxt.pt == t.pt + dt
+        assert nxt.lt > t.lt  # Lamport clock keeps increasing
+        assert nxt.phase == phase
+        # And it is the first such lt: backing off one cycle undershoots.
+        assert nxt.lt - PHASES_PER_CYCLE <= t.lt
+
+    def test_advance_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            VirtualTime(1, 1).advance(0)
+        with pytest.raises(ValueError):
+            VirtualTime(1, 1).advance(-5)
+
+    def test_plus_phases_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualTime(1, 1).plus_phases(-1)
+
+    @given(times)
+    def test_delta_counter(self, t):
+        assert t.delta == t.lt // PHASES_PER_CYCLE
+
+
+class TestUnits:
+    def test_unit_ladder(self):
+        assert PS == 1000 * FS
+        assert NS == 1000 * PS
+        assert US == 1000 * NS
+        assert MS == 1000 * US
+        assert SEC == 1000 * MS
+
+    def test_parse_time(self):
+        assert parse_time(2, "ns") == 2 * NS
+        assert parse_time(1.5, "us") == 1500 * NS
+        assert parse_time(7, "fs") == 7
+
+    def test_parse_time_rejects_unknown_unit(self):
+        with pytest.raises(ValueError):
+            parse_time(1, "parsec")
+
+    def test_parse_time_rejects_fractional_fs(self):
+        with pytest.raises(ValueError):
+            parse_time(0.5, "fs")
+
+    def test_format_time_round_trip(self):
+        assert format_time(2 * NS) == "2 ns"
+        assert format_time(1500 * PS) == "1500 ps"
+        assert format_time(3) == "3 fs"
+        assert format_time(SEC) == "1 sec"
+
+    @given(st.integers(min_value=1, max_value=10**15))
+    def test_format_parse_round_trip(self, fs):
+        text = format_time(fs)
+        value, unit = text.split()
+        assert parse_time(int(value), unit) == fs

@@ -1,0 +1,66 @@
+"""ASCII timing diagrams."""
+
+import pytest
+
+from repro.analysis import render_waves
+from repro.core import NS
+from repro.vhdl import ClockedBody, Design, SL_0, simulate, sl
+
+
+@pytest.fixture()
+def result():
+    design = Design("w")
+    clk = design.signal("clk", SL_0, traced=True)
+    q = design.signal_vector("q", 2, traced=True)
+    design.clock("clkgen", clk, period_fs=10 * NS, cycles=4)
+    ids = [w.lp_id for w in q]
+
+    def count(state, inputs, api):
+        state["n"] = (state["n"] + 1) % 4
+        return {ids[b]: sl((state["n"] >> b) & 1) for b in range(2)}
+
+    design.process("cnt", ClockedBody(clock=clk, inputs=[], outputs=q,
+                                      fn=count, initial_state={"n": 0}))
+    return simulate(design)
+
+
+class TestWaves:
+    def test_renders_all_signals(self, result):
+        text = render_waves(result)
+        assert "clk" in text
+        assert "q[0]" in text
+        assert "q[1]" in text
+
+    def test_scalar_edges_present(self, result):
+        text = render_waves(result, signals=["clk"], width=40)
+        line = [l for l in text.splitlines() if l.startswith("clk")][0]
+        assert "/" in line       # rising edges
+        assert "\\" in line      # falling edges
+        assert "_" in line and "‾" in line
+
+    def test_initial_value_respected(self, result):
+        # clk starts low: the line begins with low-level glyphs, not
+        # unknowns.
+        line = [l for l in render_waves(result).splitlines()
+                if l.startswith("clk")][0]
+        level_part = line.split(":", 1)[1].lstrip()
+        assert level_part.startswith("_")
+
+    def test_axis_line(self, result):
+        text = render_waves(result, width=20)
+        assert "/column" in text
+        assert "0 .." in text
+
+    def test_signal_selection_and_errors(self, result):
+        text = render_waves(result, signals=["clk"])
+        assert "q[0]" not in text
+        with pytest.raises(KeyError):
+            render_waves(result, signals=["ghost"])
+
+    def test_nice_step_units(self):
+        from repro.analysis.waves import _nice_step
+        assert _nice_step(1) == 1
+        assert _nice_step(3) == 5
+        assert _nice_step(10) == 10
+        assert _nice_step(101) == 200
+        assert _nice_step(700) == 1000
