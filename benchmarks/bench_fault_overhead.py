@@ -1,0 +1,84 @@
+"""Fault-tolerance overhead: what reliability costs on a lossy fabric.
+
+Not a paper figure — the paper assumes a perfect MPI/shared-memory
+fabric — but the natural robustness companion to its overhead studies:
+sweep fault-plan severities over the FSM workload and measure how the
+modelled makespan and the protocol counters degrade as the network gets
+worse, while committed results stay sequential-identical throughout.
+
+The sweep covers drops (retransmission latency), duplicates (dedup
+work), reordering (receiver buffering), a combined "hostile" plan, and a
+crash-recovery run (checkpoint + journal-replay cost).
+"""
+
+from conftest import emit
+
+from repro.circuits import build_fsm
+from repro.fabric import FaultPlan
+from repro.vhdl import simulate, simulate_parallel
+
+CYCLES = 6
+PROCESSORS = 8
+SEED = 1
+
+PLANS = [
+    ("baseline", None),
+    ("drop 2%", FaultPlan(seed=SEED, drop=0.02)),
+    ("drop 10%", FaultPlan(seed=SEED, drop=0.10)),
+    ("dup 5%", FaultPlan(seed=SEED, duplicate=0.05)),
+    ("reorder 20%", FaultPlan(seed=SEED, reorder=0.20)),
+    ("hostile", FaultPlan(seed=SEED, drop=0.05, duplicate=0.02,
+                          reorder=0.10, jitter=2.0)),
+    ("2 crashes", FaultPlan(seed=SEED, crashes=((400, 1), (900, 3)))),
+]
+
+
+def run_sweep():
+    reference = simulate(build_fsm(cycles=CYCLES).design)
+    rows = []
+    for label, plan in PLANS:
+        result = simulate_parallel(
+            build_fsm(cycles=CYCLES).design, processors=PROCESSORS,
+            protocol="optimistic", fault_plan=plan,
+            max_steps=100_000_000)
+        assert result.traces == reference.traces, label
+        rows.append((label, result))
+    return rows
+
+
+def render(rows):
+    base = rows[0][1].parallel_time
+    lines = [
+        "Fault-tolerance overhead — FSM, "
+        f"{PROCESSORS} processors, optimistic",
+        f"{'plan':14s} {'makespan':>9s} {'slowdown':>8s} {'sent':>6s} "
+        f"{'drop':>5s} {'retx':>5s} {'dedup':>5s} {'crash':>5s} "
+        f"{'replay':>6s}",
+    ]
+    for label, result in rows:
+        s = result.stats
+        lines.append(
+            f"{label:14s} {result.parallel_time:9.0f} "
+            f"{result.parallel_time / base:7.2f}x {s.fabric_sent:6d} "
+            f"{s.dropped:5d} {s.retransmitted:5d} {s.dedup_dropped:5d} "
+            f"{s.crashes:5d} {s.replayed:6d}")
+    return "\n".join(lines)
+
+
+def test_fault_overhead(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("fault_overhead", render(rows))
+
+    by_label = dict(rows)
+    base = by_label["baseline"]
+    # The perfect-fabric path pays nothing for the fabric abstraction.
+    assert base.stats.fabric_sent == 0
+    assert base.stats.retransmitted == 0
+    # Faults cost model time, never correctness (asserted in run_sweep).
+    hostile = by_label["hostile"]
+    assert hostile.stats.dropped > 0
+    assert hostile.stats.retransmitted >= hostile.stats.dropped
+    assert hostile.parallel_time >= base.parallel_time
+    crashed = by_label["2 crashes"]
+    assert crashed.stats.crashes == 2
+    assert crashed.stats.recoveries == 2

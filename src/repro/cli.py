@@ -81,11 +81,23 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_parallel(args) -> int:
+    from .fabric import parse_fault_plan
+
     design = _load_design(args)
+    plan = None
+    if args.fault_plan or args.crash:
+        plan = parse_fault_plan(args.fault_plan or "")
+        if args.crash:
+            crashes = []
+            for spec in args.crash:
+                at, _, proc = spec.partition(":")
+                crashes.append((int(at), int(proc)))
+            plan = plan.with_crashes(*crashes)
     result = simulate_parallel(design, processors=args.processors,
                                protocol=args.protocol,
                                partition=args.partition,
-                               until=_parse_until(args.until))
+                               until=_parse_until(args.until),
+                               fault_plan=plan)
     stats = result.stats
     print(f"{design.lp_count} LPs on {args.processors} processors "
           f"({args.protocol}, {args.partition} partitioning)")
@@ -96,6 +108,9 @@ def cmd_parallel(args) -> int:
     print(f"  antimessages      : {stats.antimessages}")
     print(f"  deadlock recovery : {stats.deadlock_recoveries} rounds")
     print(f"  mode switches     : {stats.mode_switches}")
+    if plan is not None:
+        print(f"  fault plan        : {plan.describe()}")
+        print(f"  fabric            : {stats.fabric_summary()}")
     if args.vcd:
         write_vcd(result, args.vcd)
         print(f"waveforms written to {args.vcd}")
@@ -152,6 +167,17 @@ def build_parser() -> argparse.ArgumentParser:
                                 "dynamic"])
     p_par.add_argument("--partition", default="round_robin",
                        choices=["round_robin", "block", "bfs"])
+    p_par.add_argument("--fault-plan", default=None, metavar="SPEC",
+                       help="inject message-fabric faults, e.g. "
+                            "'drop=0.05,dup=0.02,reorder=0.1,seed=7' "
+                            "(keys: drop, dup, reorder, jitter, spike, "
+                            "seed, max_drops; the reliable-delivery "
+                            "layer keeps results sequential-identical)")
+    p_par.add_argument("--crash", action="append", default=None,
+                       metavar="STEP:PROC",
+                       help="crash processor PROC after STEP executed "
+                            "events and recover it from its latest "
+                            "checkpoint (repeatable)")
     p_par.set_defaults(handler=cmd_parallel)
 
     p_rep = sub.add_parser("report", help="print the LP graph inventory")

@@ -59,6 +59,32 @@ class RunStats:
     #: Executed events per LP id (load observation for partitioning).
     events_per_lp: Dict[int, int] = field(default_factory=dict)
 
+    # -- delivery-fabric counters (repro.fabric) -----------------------
+    #: Remote messages handed to the fabric (unique sends, not copies).
+    fabric_sent: int = 0
+    #: Transmission attempts lost by the fault plan.
+    dropped: int = 0
+    #: Transmissions the fault plan duplicated.
+    duplicated: int = 0
+    #: Copies that took an overtaking (non-FIFO) detour.
+    reordered: int = 0
+    #: Timeout-driven retransmissions performed by the reliable layer.
+    retransmitted: int = 0
+    #: Copies discarded by receiver-side duplicate suppression.
+    dedup_dropped: int = 0
+    #: Copies parked in receiver reorder buffers awaiting a gap fill.
+    reorder_buffered: int = 0
+    #: Acknowledgements processed by senders.
+    acks: int = 0
+    #: Redundant post-recovery cancellations suppressed at the sender.
+    suppressed_resends: int = 0
+    #: Processor crashes injected.
+    crashes: int = 0
+    #: Successful crash-recoveries (checkpoint restore + replay).
+    recoveries: int = 0
+    #: Events replayed from peers' output journals during recovery.
+    replayed: int = 0
+
     def count_execution(self, lp_id: int) -> None:
         self.events_executed += 1
         self.events_per_lp[lp_id] = self.events_per_lp.get(lp_id, 0) + 1
@@ -93,6 +119,27 @@ class RunStats:
         for lp_id, count in other.events_per_lp.items():
             self.events_per_lp[lp_id] = (
                 self.events_per_lp.get(lp_id, 0) + count)
+        self.fabric_sent += other.fabric_sent
+        self.dropped += other.dropped
+        self.duplicated += other.duplicated
+        self.reordered += other.reordered
+        self.retransmitted += other.retransmitted
+        self.dedup_dropped += other.dedup_dropped
+        self.reorder_buffered += other.reorder_buffered
+        self.acks += other.acks
+        self.suppressed_resends += other.suppressed_resends
+        self.crashes += other.crashes
+        self.recoveries += other.recoveries
+        self.replayed += other.replayed
+
+    def fabric_summary(self) -> str:
+        """One-line digest of the delivery-fabric counters."""
+        return (f"sent={self.fabric_sent} dropped={self.dropped} "
+                f"dup={self.duplicated} reordered={self.reordered} "
+                f"retransmitted={self.retransmitted} "
+                f"dedup={self.dedup_dropped} acks={self.acks} "
+                f"crashes={self.crashes} recoveries={self.recoveries} "
+                f"replayed={self.replayed}")
 
     def summary(self) -> str:
         return (f"committed={self.events_committed} "

@@ -1,0 +1,167 @@
+"""Durable processor checkpoints for crash-recovery.
+
+The fabric takes a *durable checkpoint* of every processor at each
+global (GVT) round — the one moment both backends are globally
+consistent: the modelled machine is single-threaded, and the threaded
+backend's rounds are stop-the-world with a fully drained network.  A
+checkpoint captures the processor's volatile protocol state — every LP's
+state (via the existing ``snapshot``/``restore`` hooks of the
+checkpoint-interval machinery), input queues, the Time-Warp processed
+log, channel promises, adaptation counters and statistics.
+
+Crashing a processor discards its live state; recovery restores the
+latest checkpoint and then reconciles the survivor with the rest of the
+world (see :mod:`repro.fabric.transport` for the replay/suppression
+protocol layered on the per-link journals).
+
+Non-checkpointable LPs (the paper's heavy-state processes) cannot be
+durably saved either; attempting to checkpoint a processor hosting one
+raises ``ProtocolError`` — crash-recovery requires a fully
+checkpointable placement, exactly as in real PDES deployments.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Set, Tuple
+
+from ..core.stats import RunStats
+from ..core.vtime import VirtualTime
+
+
+@dataclass
+class RuntimeCheckpoint:
+    """Durable image of one :class:`~repro.parallel.engine.LPRuntime`."""
+
+    mode: Any
+    cons_epoch: int
+    lp_state: Any
+    lp_now: VirtualTime
+    queue: List[tuple]
+    cancelled: Set[Any]
+    negatives: Dict[Any, Any]
+    processed: List[Tuple[Any, Any, VirtualTime, List[Any]]]
+    channel_clocks: Dict[int, Tuple[int, VirtualTime]]
+    last_null_promise: Dict[int, VirtualTime]
+    lazy_pending: List[Any]
+    release_floor: VirtualTime
+    executed: int
+    squashed: int
+    window_executed: int
+    window_squashed: int
+    blocked_streak: int
+    since_switch: int
+    since_snapshot: int
+    committed: int
+
+
+@dataclass
+class ProcessorCheckpoint:
+    """Durable image of one processor's volatile state."""
+
+    clock: float
+    gvt_bound: VirtualTime
+    local_fifo: List[Any]
+    ready: List[tuple]
+    blocked: Set[int]
+    stats: RunStats
+    runtimes: Dict[int, RuntimeCheckpoint] = field(default_factory=dict)
+
+
+def checkpoint_processor(proc) -> ProcessorCheckpoint:
+    """Capture a processor's volatile state at a consistent global point.
+
+    In-flight fabric traffic is deliberately *not* part of the image:
+    the reliable layer's per-link journals reconstruct it during
+    recovery (sender-side replay), which is what makes the checkpoint a
+    purely local object.
+    """
+    from ..parallel.engine import ProtocolError
+
+    ckpt = ProcessorCheckpoint(
+        clock=proc.clock,
+        gvt_bound=proc.gvt_bound,
+        local_fifo=list(proc.local_fifo),
+        ready=list(proc.ready),
+        blocked=set(proc.blocked),
+        stats=copy.deepcopy(proc.stats),
+    )
+    for lp_id, runtime in proc.runtimes.items():
+        lp = runtime.lp
+        if not lp.checkpointable:
+            raise ProtocolError(
+                f"crash-recovery needs every LP durably checkpointable, "
+                f"but {lp.name!r} is not (heavy-state process); disable "
+                f"the crash schedule or re-partition")
+        ckpt.runtimes[lp_id] = RuntimeCheckpoint(
+            mode=runtime.mode,
+            cons_epoch=runtime.cons_epoch,
+            lp_state=lp.snapshot(),
+            lp_now=lp.now,
+            queue=list(runtime.queue),
+            cancelled=set(runtime.cancelled),
+            negatives=dict(runtime.negatives),
+            processed=[(e.event, e.pre_snapshot, e.pre_now, list(e.sent))
+                       for e in runtime.processed],
+            channel_clocks=dict(runtime.channel_clocks),
+            last_null_promise=dict(runtime.last_null_promise),
+            lazy_pending=list(runtime.lazy_pending),
+            release_floor=runtime.release_floor,
+            executed=runtime.executed,
+            squashed=runtime.squashed,
+            window_executed=runtime.window_executed,
+            window_squashed=runtime.window_squashed,
+            blocked_streak=runtime.blocked_streak,
+            since_switch=runtime.since_switch,
+            since_snapshot=runtime.since_snapshot,
+            committed=runtime.committed,
+        )
+    return ckpt
+
+
+def restore_processor(proc, ckpt: ProcessorCheckpoint) -> None:
+    """Overwrite a processor's volatile state with a checkpoint image.
+
+    The crashed processor's inbox (in-flight remote copies) is cleared:
+    everything under way is re-created by the peers' journal replay.
+    ``cons_epoch`` handling is the caller's job — it must be bumped past
+    the crash-time value so stale channel promises held by receivers can
+    never collide with post-recovery conservative phases.
+    """
+    from ..parallel.engine import _Entry
+
+    proc.clock = ckpt.clock
+    proc.gvt_bound = ckpt.gvt_bound
+    proc.local_fifo = deque(ckpt.local_fifo)
+    proc.inbox = []
+    proc.ready = list(ckpt.ready)
+    proc.blocked = set(ckpt.blocked)
+    proc.stats = copy.deepcopy(ckpt.stats)
+    for lp_id, image in ckpt.runtimes.items():
+        runtime = proc.runtimes[lp_id]
+        lp = runtime.lp
+        lp.restore(image.lp_state)
+        lp.now = image.lp_now
+        lp._outbox = []
+        runtime.mode = image.mode
+        runtime.cons_epoch = image.cons_epoch
+        runtime.queue = list(image.queue)
+        runtime.cancelled = set(image.cancelled)
+        runtime.negatives = dict(image.negatives)
+        runtime.processed = [
+            _Entry(event, snap, pre_now, list(sent))
+            for event, snap, pre_now, sent in image.processed]
+        runtime.channel_clocks = dict(image.channel_clocks)
+        runtime.last_null_promise = dict(image.last_null_promise)
+        runtime.lazy_pending = list(image.lazy_pending)
+        runtime.release_floor = image.release_floor
+        runtime.executed = image.executed
+        runtime.squashed = image.squashed
+        runtime.window_executed = image.window_executed
+        runtime.window_squashed = image.window_squashed
+        runtime.blocked_streak = image.blocked_streak
+        runtime.since_switch = image.since_switch
+        runtime.since_snapshot = image.since_snapshot
+        runtime.committed = image.committed

@@ -51,7 +51,8 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Set,
+                    Tuple)
 
 from ..core.event import Event, EventId, EventKind
 from ..core.lp import LogicalProcess
@@ -153,6 +154,9 @@ class LPRuntime:
         #: Lazy cancellation: messages whose executions were rolled back
         #: but whose antimessages are withheld until re-execution either
         #: regenerates them (reuse) or provably cannot anymore (cancel).
+        #: Crash-recovery reuses the same list: the journaled sends of a
+        #: dead incarnation are injected here so the restored replay
+        #: reuses what it regenerates and cancels what it abandons.
         self.lazy_pending: List[Event] = []
 
     # ------------------------------------------------------------------
@@ -248,6 +252,10 @@ class Processor:
         # Installed by the machine:
         self.route: Callable[[Event], None] = lambda event: None
         self.runtime_of: Callable[[int], LPRuntime] = None  # type: ignore
+        #: Receiver-side fabric hook: maps one popped inbox item to the
+        #: events actually deliverable now (dedup/reorder handling for
+        #: the reliable fabric).  None = the item *is* the event.
+        self.ingress: Optional[Callable[[Any], Iterable[Event]]] = None
         self.gvt_bound: VirtualTime = MINUS_INFINITY
         self.until: Optional[int] = None
         self.lookahead_of: Callable[[int, int], Optional[Tuple[int, int]]] \
@@ -310,10 +318,16 @@ class Processor:
     def _ingest(self) -> None:
         self.drain_local()
         while self.inbox and self.inbox[0][0] <= self.clock:
-            _at, _seq, event = heapq.heappop(self.inbox)
+            _at, _seq, item = heapq.heappop(self.inbox)
             self.clock += self.cost.remote_recv
-            self.deliver(event)
-            self.drain_local()
+            # The fabric's receiver-side hook turns one transmitted copy
+            # into zero (duplicate / out-of-order buffering) or more
+            # (gap fill) deliverable events; a perfect fabric delivers
+            # the item itself.
+            events = (item,) if self.ingress is None else self.ingress(item)
+            for event in events:
+                self.deliver(event)
+                self.drain_local()
 
     def drain_local(self) -> None:
         """Deliver queued same-processor messages (iteratively)."""
@@ -560,7 +574,10 @@ class Processor:
         runtime.window_executed += 1
         runtime.since_switch += 1
         runtime.blocked_streak = 0
-        if self.lazy_cancellation and runtime.lazy_pending:
+        # lazy_pending is non-empty under lazy cancellation OR after a
+        # crash-recovery injected the dead incarnation's journaled sends
+        # for reuse-matching; both want the same filter.
+        if runtime.lazy_pending:
             to_route, sent_record = self._lazy_filter(runtime, out)
         else:
             to_route = sent_record = out
@@ -573,7 +590,7 @@ class Processor:
             self.stats.final_time = max(self.stats.final_time, event.time)
         for message in to_route:
             self.route(message)
-        if self.lazy_cancellation and runtime.lazy_pending:
+        if runtime.lazy_pending:
             self._lazy_cancel_passed(runtime)
         if self.use_lookahead and runtime.mode is SyncMode.CONSERVATIVE:
             self._send_nulls(runtime)

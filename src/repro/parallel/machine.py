@@ -27,8 +27,6 @@ Global services implemented here:
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -36,6 +34,8 @@ from ..core.event import Event
 from ..core.model import Model, SyncMode
 from ..core.stats import RunStats
 from ..core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
+from ..fabric.plan import FaultPlan
+from ..fabric.transport import PerfectFabric, ReliableFabric
 from .cost import SHARED_MEMORY, CostModel
 from .engine import AdaptPolicy, LPRuntime, Processor, ProtocolError
 from .partition import PARTITIONERS, Partition
@@ -73,7 +73,9 @@ class ParallelMachine:
                  adapt: Optional[AdaptPolicy] = None,
                  checkpoint_interval: int = 1,
                  lazy_cancellation: bool = False,
-                 until: Optional[int] = None) -> None:
+                 until: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 recovery: Optional[bool] = None) -> None:
         model.validate()
         if processors < 1:
             raise ValueError("need at least one processor")
@@ -95,8 +97,17 @@ class ParallelMachine:
             for i in range(processors)
         ]
         self.gvt = MINUS_INFINITY
-        self._fabric_seq = itertools.count()
         self._runtimes: Dict[int, LPRuntime] = {}
+        # Delivery fabric: perfect FIFO links by default; a fault plan
+        # switches to the reliable (ack/retransmit/dedup) layer so the
+        # protocol still commits sequential-identical results.
+        if fault_plan is not None and (fault_plan.faulty or recovery):
+            self.fabric = ReliableFabric(fault_plan, recovery=recovery)
+        else:
+            self.fabric = PerfectFabric()
+        #: Crash schedule (executed-step, processor) pairs, soonest first.
+        self._crash_schedule = sorted(
+            fault_plan.crashes) if fault_plan is not None else []
         # GVT cadence: every `gvt_interval` executed events (0 = auto).
         # A second, blocking-driven trigger keeps conservative LPs fed in
         # mixed populations: when blocked polls accumulate faster than
@@ -113,6 +124,16 @@ class ParallelMachine:
         self._blocked_at_gvt = 0
         self._peak_speculative = 0
         self._build()
+        self.fabric.bind(self)
+
+    def install_fabric(self, fabric) -> None:
+        """Swap the delivery fabric (must happen before :meth:`run`).
+
+        Used by :func:`repro.fabric.install_jitter` and tests to attach a
+        pre-built fabric to a machine constructed with default arguments.
+        """
+        self.fabric = fabric
+        fabric.bind(self)
 
     # ------------------------------------------------------------------
     # Construction
@@ -188,10 +209,7 @@ class ParallelMachine:
                 sender.clock += self.cost.local_msg
                 sender.local_fifo.append(event)
             else:
-                sender.clock += self.cost.remote_send
-                deliver_at = sender.clock + self.cost.remote_latency
-                heapq.heappush(dst_proc.inbox,
-                               (deliver_at, next(self._fabric_seq), event))
+                self.fabric.send(sender, dst_proc, event)
         return route
 
     # ------------------------------------------------------------------
@@ -207,6 +225,11 @@ class ParallelMachine:
             for event in proc.local_fifo:
                 if event.time < low:
                     low = event.time
+        # Messages the fabric still owes (unacked or parked in reorder
+        # buffers) are in-flight work and must pin the commit horizon.
+        for event in self.fabric.pending_events():
+            if event.time < low:
+                low = event.time
         return low
 
     def _gvt_round(self, barrier: bool) -> None:
@@ -220,6 +243,9 @@ class ParallelMachine:
             fence = max(proc.clock for proc in self.procs)
             for proc in self.procs:
                 proc.clock = fence + self.cost.gvt_round
+            # A stalled machine must not deadlock on a dropped message:
+            # force every pending retransmission timer to fire now.
+            self.fabric.fire_all()
         else:
             for proc in self.procs:
                 proc.clock += self.cost.gvt_round
@@ -236,6 +262,7 @@ class ParallelMachine:
             proc.drain_local()
             proc.fossil_collect(self.gvt)
             proc.rearm_blocked()
+        self.fabric.on_gvt_round(self)
         self._since_gvt = 0
         self._blocked_at_gvt = self._blocked_polls()
 
@@ -304,6 +331,10 @@ class ParallelMachine:
                 note(event.dst, event.time, arriving=True)
             for event in proc.local_fifo:
                 note(event.dst, event.time, arriving=True)
+        for event in self.fabric.pending_events():
+            # Dropped-but-unacked and reorder-parked copies will arrive
+            # eventually (retransmission guarantees it).
+            note(event.dst, event.time, arriving=True)
 
         # Dijkstra over B (earliest future output/occupancy per LP).
         settled: Dict[int, VirtualTime] = {}
@@ -339,6 +370,8 @@ class ParallelMachine:
 
     def _pending_work(self) -> bool:
         """Any unprocessed event within the simulation horizon?"""
+        if self.fabric.has_pending():
+            return True  # unacked/parked copies must still be delivered
         for proc in self.procs:
             if proc.inbox or proc.local_fifo:
                 return True
@@ -383,10 +416,15 @@ class ParallelMachine:
     # ------------------------------------------------------------------
     def run(self, max_steps: Optional[int] = None) -> ParallelOutcome:
         steps = 0
+        self.fabric.on_run_start(self)
+        crashes = list(self._crash_schedule)
         while True:
             if max_steps is not None and steps >= max_steps:
                 raise ProtocolError(
                     f"machine exceeded {max_steps} steps (livelock?)")
+            while crashes and crashes[0][0] <= steps:
+                _at, victim = crashes.pop(0)
+                self.kill(victim)
             proc = self._next_processor()
             if proc is None:
                 if not self._pending_work():
@@ -396,6 +434,14 @@ class ParallelMachine:
                 for p in self.procs:
                     p.stats.deadlock_recoveries += 1
                 if self._next_processor() is None:
+                    # A dropped message can be the whole stall: its only
+                    # copy lives in a sender's retransmit buffer.  Each
+                    # barrier round force-fires the timers, and the
+                    # per-message drop budget bounds how many rounds the
+                    # fault plan can keep losing the retransmissions, so
+                    # looping here terminates.
+                    if self.fabric.has_pending():
+                        continue
                     # GVT alone did not unblock anything.  A withheld
                     # lazy cancellation whose send time equals GVT can
                     # pin it: with the whole machine stalled no event at
@@ -412,6 +458,7 @@ class ParallelMachine:
                             f"(gvt {before} -> {self.gvt})")
                 continue
             if proc.act():
+                self.fabric.poll(proc)
                 self._since_gvt += 1
                 steps += 1
                 due = self._since_gvt >= self.gvt_interval
@@ -455,6 +502,20 @@ class ParallelMachine:
             proc.drain_local()
         return flushed
 
+    def kill(self, index: int) -> None:
+        """Crash processor ``index`` and recover it from its latest
+        durable checkpoint.
+
+        Requires a fabric with crash-recovery enabled (a
+        :class:`~repro.fabric.transport.ReliableFabric` built with
+        ``recovery=True`` or a fault plan carrying a crash schedule).
+        The crashed processor loses all volatile state; peers replay
+        their per-link journals to rebuild its in-flight input, and its
+        own journaled output is reconciled through the lazy-cancellation
+        machinery so surviving receivers keep consistent queues.
+        """
+        self.fabric.crash(index)
+
     def _next_processor(self) -> Optional[Processor]:
         best = None
         best_time = float("inf")
@@ -476,6 +537,7 @@ class ParallelMachine:
         stats = RunStats()
         for proc in self.procs:
             stats.merge(proc.stats)
+        stats.merge(self.fabric.stats)
         stats.peak_speculative = self._peak_speculative
         from .partition import cut_channels
         return ParallelOutcome(
@@ -499,7 +561,9 @@ def run_parallel(model: Model, processors: int,
                  adapt: Optional[AdaptPolicy] = None,
                  checkpoint_interval: int = 1,
                  lazy_cancellation: bool = False,
-                 max_steps: Optional[int] = None) -> ParallelOutcome:
+                 max_steps: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 recovery: Optional[bool] = None) -> ParallelOutcome:
     """Convenience wrapper: build a machine and run it to completion."""
     machine = ParallelMachine(model, processors, protocol=protocol,
                               cost=cost, partition=partition,
@@ -508,5 +572,6 @@ def run_parallel(model: Model, processors: int,
                               gvt_interval=gvt_interval, adapt=adapt,
                               checkpoint_interval=checkpoint_interval,
                               lazy_cancellation=lazy_cancellation,
-                              until=until)
+                              until=until, fault_plan=fault_plan,
+                              recovery=recovery)
     return machine.run(max_steps=max_steps)

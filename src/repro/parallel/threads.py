@@ -23,6 +23,7 @@ acquiring anything else — so there is no lock-order cycle.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
@@ -30,6 +31,8 @@ from ..core.event import Event
 from ..core.model import Model, SyncMode
 from ..core.stats import RunStats
 from ..core.vtime import MINUS_INFINITY, VirtualTime
+from ..fabric.plan import FaultPlan
+from ..fabric.threaded import ThreadedFabric
 from .cost import SHARED_MEMORY
 from .engine import Processor, ProtocolError
 from .machine import ParallelMachine
@@ -47,25 +50,32 @@ class ThreadedOutcome:
 class _Worker:
     """One thread driving one Processor."""
 
-    def __init__(self, processor: Processor) -> None:
+    def __init__(self, processor: Processor,
+                 fabric: Optional[ThreadedFabric] = None) -> None:
         self.processor = processor
+        self.fabric = fabric
         self.lock = threading.Lock()
         self.inbox_lock = threading.Lock()
         self.pending: List[Event] = []
         self.idle = threading.Event()
         self.thread: Optional[threading.Thread] = None
 
-    def post(self, event: Event) -> None:
+    def post(self, item) -> None:
         with self.inbox_lock:
-            self.pending.append(event)
+            self.pending.append(item)
         self.idle.clear()
 
     def drain_pending(self) -> bool:
         with self.inbox_lock:
             batch, self.pending = self.pending, []
-        for event in batch:
-            self.processor.deliver(event)
-            self.processor.drain_local()
+        for item in batch:
+            # With a fabric, posted items are fabric packets that must be
+            # unwrapped (dedup / reorder-buffer) into in-order events.
+            events = ((item,) if self.fabric is None
+                      else self.fabric.receive(item))
+            for event in events:
+                self.processor.deliver(event)
+                self.processor.drain_local()
         return bool(batch)
 
 
@@ -76,7 +86,9 @@ class ThreadedMachine:
                  protocol: str = "optimistic",
                  partition: Union[str, Partition, Callable] = "round_robin",
                  until: Optional[int] = None,
-                 gvt_interval_s: float = 0.002) -> None:
+                 gvt_interval_s: float = 0.002,
+                 fault_plan: Optional[FaultPlan] = None,
+                 recovery: Optional[bool] = None) -> None:
         if protocol == "dynamic":
             raise ValueError(
                 "the threaded backend supports static protocols only; "
@@ -91,13 +103,26 @@ class ThreadedMachine:
         self._pause = threading.Event()
         self._paused = threading.Barrier(processors + 1)
         self._error: Optional[BaseException] = None
+        # Delivery fabric: None keeps the historical raw-Event fast path;
+        # a fault plan routes every remote message through the reliable
+        # layer (see repro.fabric.threaded).
+        if fault_plan is not None and (fault_plan.faulty or recovery):
+            self.fabric: Optional[ThreadedFabric] = ThreadedFabric(
+                fault_plan, recovery=recovery)
+        else:
+            self.fabric = None
+        #: Crash schedule: (completed-global-rounds, processor) pairs.
+        self._crashes = sorted(
+            fault_plan.crashes) if fault_plan is not None else []
         # Build processors exactly like the modelled machine, then strip
         # the model-time aspects we do not need.
         inner = ParallelMachine(model, processors, protocol=protocol,
                                 cost=SHARED_MEMORY, partition=partition,
                                 until=until)
         self._inner = inner
-        self.workers = [_Worker(proc) for proc in inner.procs]
+        self.workers = [_Worker(proc, self.fabric) for proc in inner.procs]
+        if self.fabric is not None:
+            self.fabric.bind(self)
         for worker in self.workers:
             proc = worker.processor
             proc.route = self._make_route(proc)
@@ -114,27 +139,74 @@ class ThreadedMachine:
             target = self.workers[placement[event.dst]]
             if target.processor is sender:
                 sender.local_fifo.append(event)
-            else:
+            elif self.fabric is None:
                 target.post(event)
+            else:
+                self.fabric.send(sender.index, target, event)
         return route
 
     # ------------------------------------------------------------------
     def run(self, timeout_s: float = 120.0) -> ThreadedOutcome:
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        deadline = time.monotonic() + timeout_s
+        # Shutdown grace: how long a signalled worker may take to exit.
+        # Derived from the run budget (a 2 s run should not hang 5 s in
+        # joins) but bounded so joins stay snappy on long budgets.
+        grace = max(0.5, min(5.0, timeout_s / 10.0))
+        if self.fabric is not None and self.fabric.recovery:
+            # Initial durable checkpoints, before any thread runs: a
+            # crash in the first round recovers to the seeded state.
+            self.fabric.take_checkpoints(self.workers)
         for worker in self.workers:
             worker.thread = threading.Thread(
                 target=self._worker_loop, args=(worker,), daemon=True)
             worker.thread.start()
+        failure: Optional[ProtocolError] = None
         try:
-            self._coordinate(timeout_s)
+            self._coordinate(deadline)
+        except ProtocolError as exc:
+            failure = exc
         finally:
             self._stop.set()
             self._paused.abort()
             for worker in self.workers:
+                worker.idle.set()
+            join_deadline = time.monotonic() + grace
+            laggards = []
+            for worker in self.workers:
                 if worker.thread is not None:
-                    worker.thread.join(timeout=5.0)
+                    worker.thread.join(timeout=max(
+                        0.05, join_deadline - time.monotonic()))
+                    if worker.thread.is_alive():
+                        laggards.append(worker.processor.index)
         if self._error is not None:
             raise self._error
+        if failure is not None:
+            # Attach what the run managed before the deadline so callers
+            # (and test diagnostics) can see how far it got.
+            failure.partial_stats = self._partial_stats()
+            if laggards:
+                failure.args = (
+                    f"{failure.args[0]}; workers {laggards} did not stop "
+                    f"within the {grace:.1f}s shutdown grace",)
+            raise failure
+        if laggards:
+            exc = ProtocolError(
+                f"workers {laggards} still alive {grace:.1f}s after the "
+                f"run completed (wedged worker thread?)")
+            exc.partial_stats = self._partial_stats()
+            raise exc
         return self._finish()
+
+    def _partial_stats(self) -> RunStats:
+        """Best-effort counters for error reporting (post-shutdown)."""
+        stats = RunStats()
+        for worker in self.workers:
+            stats.merge(worker.processor.stats)
+        if self.fabric is not None:
+            stats.merge(self.fabric.stats)
+        return stats
 
     def _worker_loop(self, worker: _Worker) -> None:
         try:
@@ -167,19 +239,59 @@ class ThreadedMachine:
             if self._error is not None:
                 self._paused.abort()
 
-    def _coordinate(self, timeout_s: float) -> None:
-        import time
-        deadline = time.monotonic() + timeout_s
+    def _coordinate(self, deadline: float) -> None:
         while not self._stop.is_set():
             if time.monotonic() > deadline:
-                raise ProtocolError("threaded run exceeded its deadline")
+                raise ProtocolError(
+                    f"threaded run exceeded its deadline after "
+                    f"{self.gvt_rounds} global rounds (gvt {self.gvt})")
             time.sleep(self.gvt_interval_s)
-            if not self._global_round():
+            if not self._global_round(deadline):
                 return
             if self._error is not None:
                 return
 
-    def _global_round(self) -> bool:
+    def _barrier_timeout(self, deadline: float) -> float:
+        """Barrier waits are bounded by the run deadline, not a magic
+        constant: a 2 s run must fail within ~2 s, and a generous budget
+        may legitimately wait longer for a slow machine."""
+        return max(0.1, min(10.0, deadline - time.monotonic()))
+
+    def _pause_diagnostic(self) -> str:
+        parked = self._paused.n_waiting
+        alive = [w.processor.index for w in self.workers
+                 if w.thread is not None and w.thread.is_alive()]
+        return (f"{parked}/{len(self.workers) + 1} parties reached the "
+                f"barrier; alive workers: {alive}")
+
+    def _drain_to_quiescence(self) -> None:
+        """Flush cross-thread inboxes to a fixpoint (world stopped).
+
+        Delivering one worker's messages can trigger rollbacks whose
+        antimessages land in the pending queue of a worker drained
+        moments earlier, so the flush loops until nothing moves.  With a
+        fabric, each pass also runs the retransmit pump: every
+        unacknowledged (possibly dropped) message is re-posted — the
+        per-message drop budget bounds the loop — so quiescence implies
+        the *network* is empty too, not merely the queues.
+        """
+        while True:
+            drained = False
+            for worker in self.workers:
+                drained |= worker.drain_pending()
+            if self.fabric is not None and self.fabric.pump(self.workers):
+                drained = True
+            if drained:
+                continue
+            if self.fabric is not None and not self.fabric.quiet():
+                # A pump pass may post nothing yet leave messages owed:
+                # every retransmit die came up "drop".  The per-message
+                # drop budget caps how often that can happen, so keep
+                # pumping — the next passes are guaranteed to post.
+                continue
+            break
+
+    def _global_round(self, deadline: float) -> bool:
         """Stop the world, advance GVT, release blocked LPs.
 
         Returns True while work remains.  Quiescence MUST be evaluated
@@ -192,26 +304,24 @@ class ThreadedMachine:
         self._pause.set()
         for worker in self.workers:
             worker.idle.set()
+        timeout = self._barrier_timeout(deadline)
         try:
-            self._paused.wait(timeout=10.0)
+            self._paused.wait(timeout=timeout)
         except threading.BrokenBarrierError:
             if self._error is None and not self._stop.is_set():
-                raise ProtocolError("worker failed to reach the barrier")
+                raise ProtocolError(
+                    f"worker failed to pause within {timeout:.1f}s "
+                    f"({self._pause_diagnostic()})")
             return False
         try:
-            # The world is stopped: flush cross-thread inboxes, compute
-            # exact GVT, refresh bounds, fossil-collect, re-arm.  The
-            # flush must run to a FIXPOINT: delivering one worker's
-            # messages can trigger rollbacks whose antimessages land in
-            # the pending queue of a worker drained moments earlier, and
-            # a GVT computed with such a message outstanding is too
-            # high — fossil collection would then commit speculative
-            # events that the in-flight antimessage is about to cancel.
-            drained = True
-            while drained:
-                drained = False
-                for worker in self.workers:
-                    drained |= worker.drain_pending()
+            self._drain_to_quiescence()
+            # Crash schedule: fire with the world stopped and the
+            # network provably empty, then re-drain — recovery re-posts
+            # the peers' journals for the restored processor.
+            while self._crashes and self._crashes[0][0] <= self.gvt_rounds:
+                _at, victim = self._crashes.pop(0)
+                self.fabric.crash(self.workers, victim, self.gvt)
+                self._drain_to_quiescence()
             gvt = self._inner.compute_gvt()
             if gvt > self.gvt:
                 self.gvt = gvt
@@ -221,8 +331,12 @@ class ThreadedMachine:
                 proc = worker.processor
                 proc.gvt_bound = self.gvt
                 proc.stats.gvt_rounds += 1
+                for runtime in proc.runtimes.values():
+                    proc.flush_lazy(runtime, self.gvt)
                 proc.fossil_collect(self.gvt)
                 proc.rearm_blocked()
+            if self.fabric is not None and self.fabric.recovery:
+                self.fabric.take_checkpoints(self.workers)
             self.gvt_rounds += 1
             work_remains = self._has_work()
         finally:
@@ -230,12 +344,14 @@ class ThreadedMachine:
             # resumed workers observe it down.
             self._pause.clear()
             try:
-                self._paused.wait(timeout=10.0)
+                self._paused.wait(timeout=self._barrier_timeout(deadline))
             except threading.BrokenBarrierError:
                 pass
         return work_remains
 
     def _has_work(self) -> bool:
+        if self.fabric is not None and not self.fabric.quiet():
+            return True
         for worker in self.workers:
             with worker.inbox_lock:
                 if worker.pending:
@@ -244,6 +360,8 @@ class ThreadedMachine:
             if proc.local_fifo or proc.inbox:
                 return True
             for runtime in proc.runtimes.values():
+                if runtime.lazy_pending:
+                    return True  # withheld cancellations must resolve
                 head = runtime.head()
                 if head is None:
                     continue
@@ -259,6 +377,8 @@ class ThreadedMachine:
         stats = RunStats()
         for worker in self.workers:
             stats.merge(worker.processor.stats)
+        if self.fabric is not None:
+            stats.merge(self.fabric.stats)
         return ThreadedOutcome(stats=stats, gvt=self.gvt,
                                processors=len(self.workers),
                                gvt_rounds=self.gvt_rounds)
@@ -268,8 +388,11 @@ def run_threaded(model: Model, processors: int,
                  protocol: str = "optimistic",
                  partition: Union[str, Partition, Callable] = "round_robin",
                  until: Optional[int] = None,
-                 timeout_s: float = 120.0) -> ThreadedOutcome:
+                 timeout_s: float = 120.0,
+                 fault_plan: Optional[FaultPlan] = None,
+                 recovery: Optional[bool] = None) -> ThreadedOutcome:
     """Convenience wrapper mirroring :func:`run_parallel`."""
     machine = ThreadedMachine(model, processors, protocol=protocol,
-                              partition=partition, until=until)
+                              partition=partition, until=until,
+                              fault_plan=fault_plan, recovery=recovery)
     return machine.run(timeout_s=timeout_s)

@@ -1,58 +1,28 @@
 """Equivalence under adversarial message timing.
 
 The modelled machine is deterministic, so its scheduler could in
-principle mask order-dependent protocol bugs.  This test randomizes the
-per-message delivery latency (jitter drawn from a seeded RNG), exploring
-many more arrival interleavings — rollback cascades, late stragglers,
-antimessage races — and checks that committed results still match the
-sequential reference exactly.
+principle mask order-dependent protocol bugs.  Routing the run through
+:func:`repro.fabric.install_jitter` randomizes per-copy delivery latency
+(seeded, reproducible), exploring many more arrival interleavings —
+rollback cascades, late stragglers, antimessage races — and the
+committed results must still match the sequential reference exactly.
+
+Historically this file carried its own route-monkey-patching jitter
+hack; that promotion into the :mod:`repro.fabric` API is exactly what
+these tests now exercise.  Unlike the old hack, the fabric does *not*
+clamp jitter to keep links FIFO — per-link sequence numbers and the
+receiver-side reorder buffer restore in-order delivery underneath the
+protocol instead.
 """
 
-import heapq
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.circuits import build_random
-from repro.core.model import SyncMode
+from repro.fabric import FaultPlan, ReliableFabric, install_jitter
 from repro.parallel.machine import ParallelMachine
 from repro.vhdl import simulate
-
-
-def install_jitter(machine: ParallelMachine, rng: random.Random,
-                   magnitude: float = 5.0) -> None:
-    """Replace every processor's route with a jittered-latency variant.
-
-    The jitter is clamped to keep each processor-pair link FIFO: the
-    protocol assumes in-order channels (the paper's MPI/TCP links are
-    FIFO; so are this repo's modelled and threaded fabrics).  Reordering
-    *within* a link would legitimately break the conservative channel
-    promises — that is a property of the transport, not a protocol bug.
-    """
-    last_delivery = {}
-    for sender in machine.procs:
-        def route(event, _sender=sender):
-            src_rt = machine._runtimes.get(event.src)
-            if (event.sign > 0 and src_rt is not None
-                    and src_rt.mode is SyncMode.CONSERVATIVE):
-                event = event.stamped(src_rt.cons_epoch)
-            dst_proc = machine.procs[machine.placement[event.dst]]
-            if dst_proc is _sender:
-                _sender.clock += machine.cost.local_msg
-                _sender.local_fifo.append(event)
-            else:
-                _sender.clock += machine.cost.remote_send
-                deliver_at = (_sender.clock + machine.cost.remote_latency
-                              + rng.random() * magnitude)
-                link = (_sender.index, dst_proc.index)
-                floor = last_delivery.get(link, 0.0)
-                deliver_at = max(deliver_at, floor + 1e-9)
-                last_delivery[link] = deliver_at
-                heapq.heappush(
-                    dst_proc.inbox,
-                    (deliver_at, next(machine._fabric_seq), event))
-        sender.route = route
 
 
 @settings(max_examples=10, deadline=None,
@@ -71,3 +41,38 @@ def test_jittered_latency_equivalence(seed, jitter_seed, protocol):
     traces = {s.name: s.trace() for s in circuit.design.signals
               if s.traced}
     assert traces == ref.traces
+
+
+def test_install_jitter_accepts_integer_seed():
+    circuit = build_random(11)
+    ref = simulate(build_random(11).design)
+    machine = ParallelMachine(circuit.design.elaborate(), 3,
+                              protocol="optimistic")
+    install_jitter(machine, 1234, magnitude=8.0)
+    machine.run(max_steps=5_000_000)
+    traces = {s.name: s.trace() for s in circuit.design.signals
+              if s.traced}
+    assert traces == ref.traces
+
+
+def test_install_jitter_is_deterministic():
+    """Same seed, same machine -> identical makespan and counters."""
+    def run(seed):
+        circuit = build_random(23)
+        machine = ParallelMachine(circuit.design.elaborate(), 4,
+                                  protocol="dynamic")
+        install_jitter(machine, seed)
+        outcome = machine.run(max_steps=5_000_000)
+        return outcome.makespan, outcome.stats.fabric_sent
+
+    assert run(99) == run(99)
+
+
+def test_install_jitter_uses_reliable_fabric():
+    """install_jitter routes through ReliableFabric with a jitter plan."""
+    circuit = build_random(5)
+    machine = ParallelMachine(circuit.design.elaborate(), 2)
+    install_jitter(machine, 7, magnitude=3.5)
+    assert isinstance(machine.fabric, ReliableFabric)
+    assert machine.fabric.plan.jitter == 3.5
+    assert isinstance(machine.fabric.plan, FaultPlan)
