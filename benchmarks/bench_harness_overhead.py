@@ -1,0 +1,93 @@
+"""Conformance-harness overhead: what the trace hooks cost when off.
+
+docs/conformance.md claims the instrumentation is near-zero-cost when
+disabled: every hook site is a single ``if self.tracer is not None``
+attribute load.  This benchmark quantifies that claim on the FSM
+workload across three configurations:
+
+* **off** — no tracer, no scheduler (the production path);
+* **tracer** — a ``Tracer`` attached, recording every protocol action;
+* **tracer+sched** — tracer plus the ``DefaultScheduler``, which also
+  routes every tie through the controlled choice points (the full
+  conformance-run configuration).
+
+All three must commit identical waves and identical event counters —
+observation must never perturb the machine — and the "off" column is
+the number the uninstrumented engine actually pays.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.circuits import build_fsm
+from repro.harness import DefaultScheduler, Tracer
+from repro.vhdl import simulate, simulate_parallel
+
+CYCLES = 6
+PROCESSORS = 8
+REPEATS = 3
+
+CONFIGS = [
+    ("off", lambda: {}),
+    ("tracer", lambda: {"tracer": Tracer()}),
+    ("tracer+sched", lambda: {"tracer": Tracer(),
+                              "scheduler": DefaultScheduler()}),
+]
+
+
+def run_sweep():
+    reference = simulate(build_fsm(cycles=CYCLES).design)
+    rows = []
+    for label, make_kwargs in CONFIGS:
+        best = None
+        result = None
+        records = 0
+        for _ in range(REPEATS):
+            kwargs = make_kwargs()
+            start = time.perf_counter()
+            result = simulate_parallel(
+                build_fsm(cycles=CYCLES).design, processors=PROCESSORS,
+                protocol="dynamic", max_steps=100_000_000, **kwargs)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+            tracer = kwargs.get("tracer")
+            records = len(tracer.records) if tracer is not None else 0
+        assert result.traces == reference.traces, label
+        rows.append((label, best, records, result))
+    return rows
+
+
+def render(rows):
+    base = rows[0][1]
+    lines = [
+        "Conformance-harness overhead — FSM, "
+        f"{PROCESSORS} processors, dynamic (best of {REPEATS})",
+        f"{'config':14s} {'wall s':>8s} {'overhead':>8s} "
+        f"{'records':>8s} {'committed':>9s} {'rollbacks':>9s}",
+    ]
+    for label, wall, records, result in rows:
+        s = result.stats
+        lines.append(
+            f"{label:14s} {wall:8.3f} {wall / base:7.2f}x "
+            f"{records:8d} {s.events_committed:9d} {s.rollbacks:9d}")
+    return "\n".join(lines)
+
+
+def test_harness_overhead(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("harness_overhead", render(rows))
+
+    by_label = {label: (records, result)
+                for label, _, records, result in rows}
+    # Observation never perturbs the machine: identical counters.
+    base_stats = by_label["off"][1].stats
+    for label in ("tracer", "tracer+sched"):
+        stats = by_label[label][1].stats
+        assert stats.events_committed == base_stats.events_committed, label
+        assert stats.events_executed == base_stats.events_executed, label
+    # The uninstrumented path records nothing; the traced paths record
+    # every protocol action (at least one per executed event).
+    assert by_label["off"][0] == 0
+    assert by_label["tracer"][0] >= base_stats.events_executed
+    assert by_label["tracer+sched"][0] >= base_stats.events_executed

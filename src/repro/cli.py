@@ -117,6 +117,62 @@ def cmd_parallel(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Conformance check: explore schedules, verify invariants + oracle.
+
+    Exit status: 0 = every explored interleaving clean; 1 = at least
+    one invariant violation / oracle diff (failing schedules are saved
+    as replayable artifacts when ``--artifact-dir`` is set).
+    """
+    from .harness import Checker, Schedule, check_circuits, replay_schedule
+
+    if args.replay:
+        try:
+            schedule = Schedule.load(args.replay)
+        except (OSError, ValueError, KeyError) as failure:
+            print(f"cannot load schedule artifact {args.replay}: "
+                  f"{failure}")
+            return 1
+        run = replay_schedule(schedule)
+        print(f"replayed {schedule.circuit} "
+              f"({schedule.processors}p, {schedule.protocol}): "
+              f"{len(run.decisions)} decisions")
+        for violation in run.violations:
+            print(f"  VIOLATION: {violation}")
+        print("result: " + ("CLEAN" if run.ok else "FAILED"))
+        return 0 if run.ok else 1
+
+    if args.record:
+        checker = Checker(args.circuit[0], circuit_seed=args.circuit_seed,
+                          processors=args.processors,
+                          protocol=args.protocol)
+        schedule, run = checker.record()
+        schedule.save(args.record)
+        print(f"recorded {schedule.circuit} schedule "
+              f"({len(schedule.decisions)} decisions, "
+              f"digest {schedule.wave_digest[:12]}...) -> {args.record}")
+        for violation in run.violations:
+            print(f"  VIOLATION: {violation}")
+        return 0 if run.ok else 1
+
+    reports = check_circuits(args.circuit, schedules=args.schedules,
+                             seed=args.seed,
+                             circuit_seed=args.circuit_seed,
+                             processors=args.processors,
+                             protocol=args.protocol,
+                             artifact_dir=args.artifact_dir)
+    failed = False
+    for report in reports:
+        print(report.summary())
+        for run in report.failures:
+            failed = True
+            for violation in run.violations[:4]:
+                print(f"  [{run.label}] {violation}")
+        for path in report.artifacts:
+            print(f"  artifact: {path}")
+    return 1 if failed else 0
+
+
 def cmd_report(args) -> int:
     design = _load_design(args)
     report = design.size_report()
@@ -179,6 +235,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "events and recover it from its latest "
                             "checkpoint (repeatable)")
     p_par.set_defaults(handler=cmd_parallel)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="conformance-check the protocol over explored schedules")
+    p_chk.add_argument("--circuit", nargs="+",
+                       default=["fsm", "random"],
+                       choices=["fsm", "random"],
+                       help="built-in circuits to explore")
+    p_chk.add_argument("--schedules", type=int, default=25,
+                       help="distinct interleavings to explore per "
+                            "circuit")
+    p_chk.add_argument("--seed", type=int, default=0,
+                       help="base seed for random schedules")
+    p_chk.add_argument("--circuit-seed", type=int, default=0,
+                       help="seed for the random-logic circuit builder")
+    p_chk.add_argument("-p", "--processors", type=int, default=2)
+    p_chk.add_argument("--protocol", default="dynamic",
+                       choices=["optimistic", "conservative", "mixed",
+                                "dynamic"])
+    p_chk.add_argument("--artifact-dir", default=None,
+                       help="write failing schedules here as replayable "
+                            "JSON artifacts")
+    p_chk.add_argument("--record", default=None, metavar="PATH",
+                       help="record the canonical schedule of the first "
+                            "--circuit to PATH and exit")
+    p_chk.add_argument("--replay", default=None, metavar="PATH",
+                       help="replay a schedule artifact and re-verify it")
+    p_chk.set_defaults(handler=cmd_check)
 
     p_rep = sub.add_parser("report", help="print the LP graph inventory")
     p_rep.add_argument("file")

@@ -44,6 +44,12 @@ class LogicalProcess:
     #: Attribute names copied by the default snapshot/restore.
     state_attrs: Sequence[str] = ()
 
+    #: Conformance hook (repro.harness): a Tracer recording protocol
+    #: actions, or None (the default — un-traced sends pay only this
+    #: attribute check).  Class attribute so plain LPs carry no extra
+    #: per-instance state.
+    tracer = None
+
     #: Whether Time Warp may checkpoint and roll this LP back.  LPs whose
     #: state cannot be captured (e.g. ones wrapping a live Python
     #: generator) set this False and the engines pin them conservative.
@@ -107,6 +113,9 @@ class LogicalProcess:
         event = Event(time=time, kind=kind, dst=dst, src=self.lp_id,
                       payload=payload, eid=self._fresh_eid(),
                       send_time=self.now)
+        if self.tracer is not None:
+            self.tracer.record("send", lp=self.lp_id, time=time,
+                               dst=dst, kind=int(kind))
         self._outbox.append(event)
         return event
 

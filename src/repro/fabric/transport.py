@@ -74,6 +74,10 @@ class PerfectFabric:
 
     plan: Optional[FaultPlan] = None
 
+    #: Conformance hook (repro.harness): never fires for a perfect
+    #: network, but the machine assigns it uniformly.
+    tracer = None
+
     def __init__(self) -> None:
         self.machine = None
         self.stats = RunStats()
@@ -145,6 +149,10 @@ class _ReceiverLink:
 
 class ReliableFabric:
     """Reliable exactly-once FIFO delivery over a faulty link model."""
+
+    #: Conformance hook (repro.harness): records drop / retransmit /
+    #: durable-checkpoint / crash actions when attached by the machine.
+    tracer = None
 
     def __init__(self, plan: Optional[FaultPlan] = None,
                  recovery: Optional[bool] = None) -> None:
@@ -239,6 +247,9 @@ class ReliableFabric:
         faults = state.faults
         if faults.should_drop(seq):
             self.stats.dropped += 1
+            if self.tracer is not None:
+                self.tracer.record("drop", link[0], event.dst, event.time,
+                                   seq=seq, to_proc=link[1])
             return  # the armed timer will retransmit
         copies = faults.copies()
         if copies > 1:
@@ -322,6 +333,10 @@ class ReliableFabric:
         state.attempts[seq] = attempts
         sender.clock += self.machine.cost.remote_send
         self.stats.retransmitted += 1
+        if self.tracer is not None:
+            self.tracer.record("retransmit", link[0], event.dst,
+                               event.time, seq=seq, to_proc=link[1],
+                               attempts=attempts)
         self._transmit(link, seq, event)
         self._arm_timer(sender, link, seq, attempts=attempts)
 
@@ -405,6 +420,8 @@ class ReliableFabric:
         for proc in machine.procs:
             index = proc.index
             self._checkpoints[index] = checkpoint_processor(proc)
+            if self.tracer is not None:
+                self.tracer.record("checkpoint", index, ctx="durable")
             self._ckpt_sender_next[index] = {
                 link: state.next_seq
                 for link, state in self._senders.items()
@@ -467,6 +484,8 @@ class ReliableFabric:
                 f"the run starts")
         proc = machine.procs[index]
         self.stats.crashes += 1
+        if self.tracer is not None:
+            self.tracer.record("crash", index)
         # Copies queued at the dying processor are destroyed with it.
         for _at, _seq, item in proc.inbox:
             if isinstance(item, Packet):

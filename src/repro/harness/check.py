@@ -1,0 +1,350 @@
+"""Conformance driver: schedule exploration with invariants + oracle.
+
+This is the harness's top half.  One *check* of a circuit:
+
+1. runs the **sequential oracle** once and digests its committed waves;
+2. runs the modelled parallel machine under a sequence of controlled
+   schedules — the canonical baseline, every DPOR-lite targeted swap of
+   the baseline's choice points, then seeded-random exploration until
+   the requested number of *distinct* interleavings (by decision
+   signature) has been executed;
+3. for every schedule, scans the recorded trace with the protocol
+   invariant checkers and diffs the committed waves against the oracle.
+
+Any violation, diff, or engine :class:`ProtocolError` fails the check,
+and the failing schedule is **shrunk** (greedily reset decisions to the
+canonical 0 while the failure persists, then drop trailing zeros) and
+saved as a replayable JSON artifact — the repro recipe for the bug.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..analysis.diff import diff_results
+from ..circuits.fsm import build_fsm
+from ..circuits.random_logic import build_random
+from ..parallel.engine import ProtocolError
+from ..vhdl.kernel import SimulationResult, simulate, simulate_parallel
+from .invariants import check_all
+from .schedule import (DefaultScheduler, RandomScheduler, ReplayScheduler,
+                       Schedule, Scheduler, swap_schedule)
+from .trace import Tracer
+
+#: Known circuits: name -> builder(seed) returning a fresh Design.
+#: Small on purpose — a check runs the circuit dozens of times.
+CIRCUITS: Dict[str, Callable[[int], object]] = {
+    "fsm": lambda seed: build_fsm(cells=4, cycles=4).design,
+    "random": lambda seed: build_random(seed, gates=10, registers=3,
+                                        stimulus_bits=2, cycles=3).design,
+}
+
+#: Livelock guard for controlled runs (a pathological schedule must
+#: fail loudly, not hang the exploration).
+MAX_STEPS = 400_000
+
+
+def wave_digest(result: SimulationResult) -> str:
+    """Canonical digest of the committed waves (order-independent)."""
+    digest = hashlib.sha256()
+    for name in sorted(result.traces):
+        digest.update(name.encode())
+        for time, value in result.traces[name]:
+            digest.update(f"{time[0]},{time[1]},{value!s};".encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class RunReport:
+    """Outcome of one controlled schedule."""
+
+    label: str
+    signature: Tuple[Tuple[int, int], ...]
+    decisions: List[int]
+    ncands: List[int]
+    violations: List[str]
+    digest: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one circuit's exploration."""
+
+    circuit: str
+    circuit_seed: int
+    processors: int
+    protocol: str
+    oracle_digest: str = ""
+    runs: List[RunReport] = field(default_factory=list)
+    #: Paths of shrunk failing-schedule artifacts written to disk.
+    artifacts: List[str] = field(default_factory=list)
+
+    @property
+    def distinct(self) -> int:
+        return len({run.signature for run in self.runs})
+
+    @property
+    def failures(self) -> List[RunReport]:
+        return [run for run in self.runs if not run.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"FAIL ({len(self.failures)} bad)"
+        return (f"{self.circuit}: {len(self.runs)} schedules, "
+                f"{self.distinct} distinct interleavings, {status}")
+
+
+class Checker:
+    """Explores schedules of one circuit and checks each one."""
+
+    def __init__(self, circuit: str, circuit_seed: int = 0,
+                 processors: int = 2, protocol: str = "dynamic",
+                 until: Optional[int] = None,
+                 artifact_dir: Optional[str] = None) -> None:
+        if circuit not in CIRCUITS:
+            raise ValueError(f"unknown circuit {circuit!r}; choose from "
+                             f"{sorted(CIRCUITS)}")
+        self.circuit = circuit
+        self.circuit_seed = circuit_seed
+        self.processors = processors
+        self.protocol = protocol
+        self.until = until
+        self.artifact_dir = artifact_dir
+        self._oracle: Optional[SimulationResult] = None
+        self.oracle_digest = ""
+
+    # ------------------------------------------------------------------
+    # Primitive runs
+    # ------------------------------------------------------------------
+    def _design(self):
+        return CIRCUITS[self.circuit](self.circuit_seed)
+
+    def oracle(self) -> SimulationResult:
+        if self._oracle is None:
+            self._oracle = simulate(self._design(), until=self.until)
+            self.oracle_digest = wave_digest(self._oracle)
+        return self._oracle
+
+    def run_schedule(self, scheduler: Scheduler,
+                     label: str) -> RunReport:
+        """One controlled parallel run, fully checked."""
+        tracer = Tracer()
+        violations: List[str] = []
+        result: Optional[SimulationResult] = None
+        try:
+            result = simulate_parallel(
+                self._design(), self.processors, until=self.until,
+                protocol=self.protocol, tracer=tracer,
+                scheduler=scheduler, max_steps=MAX_STEPS)
+        except ProtocolError as failure:
+            violations.append(f"protocol-error: {failure}")
+        digest = None
+        if result is not None:
+            violations.extend(check_all(tracer, result.stats))
+            report = diff_results(self.oracle(), result)
+            if not report.identical:
+                violations.append(
+                    "oracle-diff: committed waves differ from the "
+                    f"sequential engine ({report.summary()})")
+            digest = wave_digest(result)
+        if isinstance(scheduler, ReplayScheduler) \
+                and scheduler.divergences:
+            violations.append(
+                f"replay-divergence: {scheduler.divergences} decision "
+                f"points did not match the recording")
+        return RunReport(label=label, signature=scheduler.signature,
+                         decisions=scheduler.decisions,
+                         ncands=scheduler.ncands,
+                         violations=violations, digest=digest)
+
+    # ------------------------------------------------------------------
+    # Exploration
+    # ------------------------------------------------------------------
+    def explore(self, schedules: int = 25, seed: int = 0) -> CheckReport:
+        """Run >= ``schedules`` distinct interleavings (if they exist).
+
+        Order: canonical baseline, DPOR-lite targeted swaps (first
+        divergence at every multi-candidate choice point), then
+        seeded-random schedules until the distinct-signature target is
+        met or an attempt budget runs out.
+        """
+        report = CheckReport(circuit=self.circuit,
+                             circuit_seed=self.circuit_seed,
+                             processors=self.processors,
+                             protocol=self.protocol)
+        self.oracle()
+        report.oracle_digest = self.oracle_digest
+        seen: Set[Tuple[Tuple[int, int], ...]] = set()
+
+        def note(run: RunReport) -> None:
+            report.runs.append(run)
+            seen.add(run.signature)
+            if not run.ok:
+                self._dump_failure(run, report)
+
+        baseline = self.run_schedule(DefaultScheduler(), "baseline")
+        note(baseline)
+        # DPOR-lite: diverge once at every choice point of the baseline.
+        # Capped at half the budget — the other half goes to seeded
+        # random schedules, which diverge at *every* point at once and
+        # catch ordering bugs a single first divergence can mask (an
+        # optimistic engine self-heals one missequenced event through
+        # the very rollback machinery under test).
+        swap_target = max(1 + schedules // 2, schedules - 16)
+        for point, (ncand, _chosen) in enumerate(baseline.signature):
+            if len(seen) >= swap_target:
+                break
+            for alternative in range(1, ncand):
+                if len(seen) >= swap_target:
+                    break
+                decisions = swap_schedule(point, alternative)
+                run = self.run_schedule(
+                    ReplayScheduler(decisions),
+                    f"swap@{point}={alternative}")
+                note(run)
+        # Seeded-random exploration up to the distinct target.
+        attempts = 0
+        budget = max(4 * schedules, schedules + 16)
+        rng_seed = seed
+        while len(seen) < schedules and attempts < budget:
+            attempts += 1
+            rng_seed += 1
+            run = self.run_schedule(RandomScheduler(rng_seed),
+                                    f"random#{rng_seed}")
+            note(run)
+        return report
+
+    # ------------------------------------------------------------------
+    # Failure artifacts
+    # ------------------------------------------------------------------
+    def _still_fails(self, decisions: List[int]) -> bool:
+        """Does this decision list still reproduce a *real* failure?
+
+        Replay divergences are excluded: shrinking edits the decision
+        list, so clamped choices are expected noise, and an artifact
+        that only diverges (without violating an invariant or the
+        oracle) is not a reproduction of the bug.
+        """
+        run = self.run_schedule(ReplayScheduler(decisions), "shrink-probe")
+        return any(not v.startswith("replay-divergence")
+                   for v in run.violations)
+
+    def shrink(self, decisions: List[int],
+               budget: int = 48) -> List[int]:
+        """Delta-debugging-style minimization of a failing decision list.
+
+        Three passes, each verified by re-running the schedule:
+
+        1. binary-search the shortest failing *prefix* (the replayer
+           pads with the canonical 0 after exhaustion);
+        2. reset chunks of decisions to 0, halving the chunk size;
+        3. drop trailing zeros.
+
+        Budget-capped: each probe is one full controlled run.
+        """
+        current = [d for d in decisions]
+        # Pass 1: shortest failing prefix.
+        lo, hi = 0, len(current)
+        while lo < hi and budget > 0:
+            mid = (lo + hi) // 2
+            budget -= 1
+            if self._still_fails(current[:mid]):
+                hi = mid
+            else:
+                lo = mid + 1
+        current = current[:hi]
+        # Pass 2: zero out chunks, halving the chunk size.
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1 and budget > 0:
+            start = 0
+            while start < len(current) and budget > 0:
+                if any(current[start:start + chunk]):
+                    trial = list(current)
+                    trial[start:start + chunk] = [0] * len(
+                        trial[start:start + chunk])
+                    budget -= 1
+                    if self._still_fails(trial):
+                        current = trial
+                start += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+        while current and current[-1] == 0:
+            current.pop()
+        return current
+
+    def _dump_failure(self, run: RunReport,
+                      report: CheckReport) -> None:
+        if self.artifact_dir is None:
+            return
+        os.makedirs(self.artifact_dir, exist_ok=True)
+        # Only the first artifact pays for shrinking (it is the repro
+        # recipe); later failures are saved verbatim.
+        decisions = self.shrink(run.decisions) if not report.artifacts \
+            else list(run.decisions)
+        schedule = Schedule(
+            circuit=self.circuit, circuit_seed=self.circuit_seed,
+            processors=self.processors, protocol=self.protocol,
+            decisions=decisions, label=run.label,
+            wave_digest=self.oracle_digest,
+            violations=run.violations)
+        index = len(report.artifacts)
+        path = os.path.join(self.artifact_dir,
+                            f"fail-{self.circuit}-{index}.json")
+        schedule.save(path)
+        report.artifacts.append(path)
+
+    # ------------------------------------------------------------------
+    # Record / replay
+    # ------------------------------------------------------------------
+    def record(self) -> Tuple[Schedule, RunReport]:
+        """Run the canonical schedule and package it as an artifact."""
+        run = self.run_schedule(DefaultScheduler(), "recorded")
+        schedule = Schedule(
+            circuit=self.circuit, circuit_seed=self.circuit_seed,
+            processors=self.processors, protocol=self.protocol,
+            decisions=run.decisions, ncands=run.ncands,
+            label="recorded", wave_digest=run.digest,
+            violations=run.violations)
+        return schedule, run
+
+
+def replay_schedule(schedule: Schedule,
+                    until: Optional[int] = None) -> RunReport:
+    """Re-execute a schedule artifact and verify it reproduces itself."""
+    checker = Checker(schedule.circuit,
+                      circuit_seed=schedule.circuit_seed,
+                      processors=schedule.processors,
+                      protocol=schedule.protocol, until=until)
+    run = checker.run_schedule(schedule.replayer(), "replay")
+    if schedule.wave_digest and run.digest \
+            and run.digest != schedule.wave_digest:
+        run.violations.append(
+            f"replay-digest: waves {run.digest[:12]}... differ from the "
+            f"recorded {schedule.wave_digest[:12]}...")
+    return run
+
+
+def check_circuits(circuits: List[str], schedules: int = 25,
+                   seed: int = 0, circuit_seed: int = 0,
+                   processors: int = 2, protocol: str = "dynamic",
+                   artifact_dir: Optional[str] = None
+                   ) -> List[CheckReport]:
+    """Explore every named circuit; the CLI entry point's core."""
+    reports = []
+    for circuit in circuits:
+        checker = Checker(circuit, circuit_seed=circuit_seed,
+                          processors=processors, protocol=protocol,
+                          artifact_dir=artifact_dir)
+        reports.append(checker.explore(schedules=schedules, seed=seed))
+    return reports

@@ -249,6 +249,13 @@ class Processor:
         self.ready: List[Tuple[tuple, int]] = []
         self.blocked: Set[int] = set()
         self.stats = RunStats()
+        #: Conformance hooks (repro.harness): a Tracer records every
+        #: protocol-relevant action; a Scheduler turns the tie-breaking
+        #: choice points into recorded/replayed decisions.  Both default
+        #: to None, so the uninstrumented fast paths cost one attribute
+        #: check.
+        self.tracer = None
+        self.scheduler = None
         # Installed by the machine:
         self.route: Callable[[Event], None] = lambda event: None
         self.runtime_of: Callable[[int], LPRuntime] = None  # type: ignore
@@ -339,6 +346,10 @@ class Processor:
     # ------------------------------------------------------------------
     def deliver(self, event: Event) -> None:
         runtime = self.runtimes[event.dst]
+        if self.tracer is not None:
+            self.tracer.record("recv", self.index, event.dst, event.time,
+                               kind=int(event.kind), src=event.src,
+                               sign=event.sign)
         self._note_channel_clock(runtime, event)
         if event.kind is EventKind.NULL:
             self._arm(runtime)
@@ -472,6 +483,9 @@ class Processor:
                        + self.cost.rollback_per_event * len(squashed))
         self.stats.rollbacks += 1
         lp_id = runtime.lp.lp_id
+        if self.tracer is not None:
+            self.tracer.record("rollback", self.index, lp_id,
+                               first.event.time, squashed=len(squashed))
         for entry in squashed:
             runtime.push(entry.event)
             runtime.squashed += 1
@@ -488,6 +502,10 @@ class Processor:
                     runtime.lazy_pending.append(sent)
                 else:
                     self.stats.antimessages += 1
+                    if self.tracer is not None:
+                        self.tracer.record("anti", self.index, lp_id,
+                                           sent.time, dst=sent.dst,
+                                           ctx="rollback")
                     self.route(sent.antimessage())
         self._arm(runtime)
 
@@ -495,6 +513,8 @@ class Processor:
     # Execution
     # ------------------------------------------------------------------
     def _execute_one(self) -> bool:
+        if self.scheduler is not None:
+            return self._execute_one_controlled()
         while self.ready:
             key, lp_id = heapq.heappop(self.ready)
             runtime = self.runtimes[lp_id]
@@ -519,6 +539,81 @@ class Processor:
             self._execute(runtime, runtime.pop())
             return True
         return False
+
+    def _execute_one_controlled(self) -> bool:
+        """Controlled-scheduler variant of :meth:`_execute_one`.
+
+        Same validation as the base loop, but instead of executing the
+        canonical first safe runtime, gather every safe runtime whose
+        head ties with it under ``scheduler.tie_key`` and let the
+        scheduler pick (choice point ``lp``).  The chosen runtime's
+        same-tie queued events then go through
+        :meth:`_controlled_pop` (choice point ``event``).
+        """
+        sched = self.scheduler
+        candidates: List[Tuple[tuple, int]] = []
+        group_key = None
+        while self.ready:
+            key, lp_id = heapq.heappop(self.ready)
+            runtime = self.runtimes[lp_id]
+            head = runtime.head()
+            if head is None:
+                continue
+            if head.sort_key() != key:
+                self._arm(runtime)
+                continue
+            if self.until is not None and head.time.pt > self.until:
+                continue
+            if not self._safe(runtime, head):
+                self.blocked.add(lp_id)
+                runtime.blocked_streak += 1
+                self.stats.blocked_polls += 1
+                if self.use_lookahead:
+                    self._send_nulls(runtime)
+                self._maybe_go_optimistic(runtime)
+                continue
+            tie = sched.tie_key(head.time)
+            if group_key is None:
+                group_key = tie
+            elif tie != group_key:
+                # Beyond the simultaneous group; defer back to the heap.
+                heapq.heappush(self.ready, (key, lp_id))
+                break
+            candidates.append((key, lp_id))
+        if not candidates:
+            return False
+        choice = sched.choose("lp", len(candidates)) \
+            if len(candidates) > 1 else 0
+        for i, item in enumerate(candidates):
+            if i != choice:
+                heapq.heappush(self.ready, item)
+        runtime = self.runtimes[candidates[choice][1]]
+        self._execute(runtime, self._controlled_pop(runtime))
+        return True
+
+    def _controlled_pop(self, runtime: LPRuntime) -> Event:
+        """Pop one of the runtime's same-tie queue-head events.
+
+        The heap's canonical order fixes which same-``(pt, lt)`` event
+        an LP consumes first; the protocol claims that order is
+        irrelevant too.  Surface it as choice point ``event``: collect
+        every live queued event tying with the head under
+        ``scheduler.tie_key`` and let the scheduler pick.
+        """
+        sched = self.scheduler
+        first = runtime.pop()
+        group_key = sched.tie_key(first.time)
+        ties = [first]
+        while True:
+            nxt = runtime.head()
+            if nxt is None or sched.tie_key(nxt.time) != group_key:
+                break
+            ties.append(runtime.pop())
+        choice = sched.choose("event", len(ties)) if len(ties) > 1 else 0
+        chosen = ties.pop(choice)
+        for event in ties:
+            runtime.push(event)
+        return chosen
 
     def _safe(self, runtime: LPRuntime, event: Event) -> bool:
         if runtime.mode is SyncMode.OPTIMISTIC:
@@ -561,10 +656,17 @@ class Processor:
                 self.clock += self.cost.snapshot
                 self.stats.snapshots += 1
                 runtime.since_snapshot = 0
+                if self.tracer is not None:
+                    self.tracer.record("checkpoint", self.index,
+                                       lp.lp_id, lp.now, ctx="snapshot")
             else:
                 snapshot = None
                 runtime.since_snapshot += 1
             entry = _Entry(event, snapshot, lp.now, [])
+        if self.tracer is not None:
+            self.tracer.record("exec", self.index, lp.lp_id, event.time,
+                               kind=int(event.kind),
+                               mode=runtime.mode.name)
         lp.now = event.time
         lp.simulate(event)
         out = lp.drain_outbox()
@@ -588,6 +690,9 @@ class Processor:
             runtime.committed += 1
             self.stats.events_committed += 1
             self.stats.final_time = max(self.stats.final_time, event.time)
+            if self.tracer is not None:
+                self.tracer.record("commit", self.index, lp.lp_id,
+                                   event.time, ctx="conservative")
         for message in to_route:
             self.route(message)
         if runtime.lazy_pending:
@@ -640,6 +745,10 @@ class Processor:
         for pending in runtime.lazy_pending:
             if pending.send_time < now:
                 self.stats.antimessages += 1
+                if self.tracer is not None:
+                    self.tracer.record("anti", self.index,
+                                       runtime.lp.lp_id, pending.time,
+                                       dst=pending.dst, ctx="lazy-passed")
                 self.route(pending.antimessage())
             else:
                 keep.append(pending)
@@ -657,6 +766,10 @@ class Processor:
         for pending in runtime.lazy_pending:
             if pending.send_time < bound:
                 self.stats.antimessages += 1
+                if self.tracer is not None:
+                    self.tracer.record("anti", self.index,
+                                       runtime.lp.lp_id, pending.time,
+                                       dst=pending.dst, ctx="lazy-flush")
                 self.route(pending.antimessage())
             else:
                 keep.append(pending)
@@ -724,7 +837,7 @@ class Processor:
         bound = max(self._input_bound(runtime), self.gvt_bound)
         index = self._first_safe_cut(runtime, bound)
         self._rollback(runtime, index)
-        self._commit_log(runtime)
+        self._commit_log(runtime, ctx="switch")
         runtime.mode = SyncMode.CONSERVATIVE
         runtime.cons_epoch += 1
         runtime.since_switch = 0
@@ -770,13 +883,17 @@ class Processor:
                 hi = mid
         return lo
 
-    def _commit_log(self, runtime: LPRuntime) -> None:
+    def _commit_log(self, runtime: LPRuntime, ctx: str = "final") -> None:
         """Finalize all remaining processed entries (now irrevocable)."""
         for entry in runtime.processed:
             runtime.committed += 1
             self.stats.events_committed += 1
             self.stats.final_time = max(self.stats.final_time,
                                         entry.event.time)
+            if self.tracer is not None:
+                self.tracer.record("commit", self.index,
+                                   runtime.lp.lp_id, entry.event.time,
+                                   ctx=ctx)
         runtime.processed.clear()
 
     # ------------------------------------------------------------------
@@ -829,5 +946,10 @@ class Processor:
                     self.stats.events_committed += 1
                     self.stats.final_time = max(self.stats.final_time,
                                                 entry.event.time)
+                    if self.tracer is not None:
+                        self.tracer.record(
+                            "commit", self.index, runtime.lp.lp_id,
+                            entry.event.time, ctx="fossil",
+                            gvt=(gvt[0], gvt[1]))
                 del entries[:cut]
                 self.stats.fossils_collected += cut

@@ -75,7 +75,8 @@ class ParallelMachine:
                  lazy_cancellation: bool = False,
                  until: Optional[int] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 recovery: Optional[bool] = None) -> None:
+                 recovery: Optional[bool] = None,
+                 tracer=None, scheduler=None) -> None:
         model.validate()
         if processors < 1:
             raise ValueError("need at least one processor")
@@ -98,6 +99,13 @@ class ParallelMachine:
         ]
         self.gvt = MINUS_INFINITY
         self._runtimes: Dict[int, LPRuntime] = {}
+        #: Conformance hooks (repro.harness): both default to None and
+        #: are propagated to every processor, LP and the fabric.
+        self.tracer = tracer
+        self.scheduler = scheduler
+        for proc in self.procs:
+            proc.tracer = tracer
+            proc.scheduler = scheduler
         # Delivery fabric: perfect FIFO links by default; a fault plan
         # switches to the reliable (ack/retransmit/dedup) layer so the
         # protocol still commits sequential-identical results.
@@ -123,6 +131,8 @@ class ParallelMachine:
         self._since_gvt = 0
         self._blocked_at_gvt = 0
         self._peak_speculative = 0
+        if tracer is not None:
+            self.fabric.tracer = tracer
         self._build()
         self.fabric.bind(self)
 
@@ -132,6 +142,8 @@ class ParallelMachine:
         Used by :func:`repro.fabric.install_jitter` and tests to attach a
         pre-built fabric to a machine constructed with default arguments.
         """
+        if self.tracer is not None:
+            fabric.tracer = self.tracer
         self.fabric = fabric
         fabric.bind(self)
 
@@ -182,6 +194,9 @@ class ParallelMachine:
                                 self.model.successors(lp.lp_id))
             self._runtimes[lp.lp_id] = runtime
             self.procs[self.placement[lp.lp_id]].adopt(runtime)
+            if self.tracer is not None:
+                self.tracer.register_lp(lp)
+                lp.tracer = self.tracer
         for proc in self.procs:
             proc.runtime_of = self._runtimes.__getitem__
             proc.route = self._make_route(proc)
@@ -252,6 +267,13 @@ class ParallelMachine:
         gvt = self.compute_gvt()
         if gvt > self.gvt:
             self.gvt = gvt
+        if self.tracer is not None:
+            g = self.gvt
+            self.tracer.record(
+                "gvt", time=g,
+                gvt=None if g in (INFINITY, MINUS_INFINITY)
+                else (g[0], g[1]),
+                barrier=barrier)
         self._note_speculative_peak()
         self._refresh_release_floors()
         for proc in self.procs:
@@ -494,6 +516,11 @@ class ParallelMachine:
                     if pending.send_time <= self.gvt \
                             or pending.time <= self.gvt:
                         proc.stats.antimessages += 1
+                        if self.tracer is not None:
+                            self.tracer.record(
+                                "anti", proc.index, runtime.lp.lp_id,
+                                pending.time, dst=pending.dst,
+                                ctx="gvt-flush")
                         proc.route(pending.antimessage())
                         flushed = True
                     else:
@@ -524,7 +551,15 @@ class ParallelMachine:
             if t < best_time:
                 best = proc
                 best_time = t
-        return best
+        if best is None or self.scheduler is None:
+            return best
+        # Controlled scheduling: processors tied at the same model time
+        # form choice point ``proc`` (canonical order = processor index).
+        tied = [proc for proc in self.procs
+                if proc.has_work_at() == best_time]
+        if len(tied) <= 1:
+            return best
+        return tied[self.scheduler.choose("proc", len(tied))]
 
     def _finish(self) -> ParallelOutcome:
         # Commit everything that remains speculative: the run is over, no
@@ -563,7 +598,8 @@ def run_parallel(model: Model, processors: int,
                  lazy_cancellation: bool = False,
                  max_steps: Optional[int] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 recovery: Optional[bool] = None) -> ParallelOutcome:
+                 recovery: Optional[bool] = None,
+                 tracer=None, scheduler=None) -> ParallelOutcome:
     """Convenience wrapper: build a machine and run it to completion."""
     machine = ParallelMachine(model, processors, protocol=protocol,
                               cost=cost, partition=partition,
@@ -573,5 +609,6 @@ def run_parallel(model: Model, processors: int,
                               checkpoint_interval=checkpoint_interval,
                               lazy_cancellation=lazy_cancellation,
                               until=until, fault_plan=fault_plan,
-                              recovery=recovery)
+                              recovery=recovery,
+                              tracer=tracer, scheduler=scheduler)
     return machine.run(max_steps=max_steps)

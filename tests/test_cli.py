@@ -93,3 +93,64 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["parallel", vhd, "--top", "tb",
                   "--protocol", "psychic"])
+
+
+class TestCheckCommand:
+    """`repro check`: conformance exploration, record/replay, exit codes."""
+
+    def test_check_clean_exit_zero(self, capsys):
+        assert main(["check", "--circuit", "fsm",
+                     "--schedules", "4", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct interleavings" in out
+        assert "OK" in out
+
+    def test_check_both_circuits(self, capsys):
+        assert main(["check", "--schedules", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fsm:" in out
+        assert "random:" in out
+
+    def test_record_replay_roundtrip(self, tmp_path, capsys):
+        artifact = str(tmp_path / "schedule.json")
+        assert main(["check", "--circuit", "fsm",
+                     "--record", artifact]) == 0
+        recorded = capsys.readouterr().out
+        assert "recorded fsm schedule" in recorded
+
+        from repro.harness import Schedule
+        schedule = Schedule.load(artifact)
+        assert schedule.circuit == "fsm"
+        assert schedule.wave_digest
+
+        assert main(["check", "--replay", artifact]) == 0
+        replayed = capsys.readouterr().out
+        assert "CLEAN" in replayed
+
+    def test_replay_missing_artifact_exits_one(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["check", "--replay", missing]) == 1
+        assert "cannot load" in capsys.readouterr().out
+
+    def test_replay_bad_version_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 42}')
+        assert main(["check", "--replay", str(bad)]) == 1
+        assert "cannot load" in capsys.readouterr().out
+
+    def test_failing_check_exits_one(self, tmp_path, capsys,
+                                     monkeypatch):
+        from repro.harness import Scheduler
+        monkeypatch.setattr(Scheduler, "tie_key",
+                            lambda self, time: time[0])
+        code = main(["check", "--circuit", "fsm", "--schedules", "8",
+                     "--seed", "7",
+                     "--artifact-dir", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "artifact:" in out
+
+    def test_bad_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--circuit", "nonexistent"])

@@ -1,0 +1,55 @@
+"""Seeded fault plans are bit-reproducible.
+
+The fault model draws every drop/duplicate/reorder/jitter decision from
+per-link RNGs derived from the plan's single seed, so two machines built
+from the same ``--fault-plan`` string must execute identically: same
+committed waves, same makespan, same counter-for-counter statistics.
+This is a regression guard — any code path that consults a global RNG
+(or iterates an unordered container into the fault model) breaks it.
+"""
+
+from dataclasses import asdict
+
+from repro.circuits import build_random
+from repro.fabric import parse_fault_plan
+from repro.parallel.machine import run_parallel
+
+PLAN_SPEC = "drop=0.08,dup=0.04,reorder=0.1,jitter=2.5,seed=1234"
+
+
+def run_once(spec: str):
+    plan = parse_fault_plan(spec)
+    circuit = build_random(21, gates=12, cycles=4)
+    model = circuit.design.elaborate()
+    outcome = run_parallel(model, processors=3, protocol="dynamic",
+                           fault_plan=plan, max_steps=2_000_000)
+    traces = {s.name: s.trace() for s in circuit.design.signals
+              if s.traced}
+    return outcome, traces
+
+
+class TestFaultPlanReproducibility:
+    def test_identical_runs_from_same_spec(self):
+        first, traces_a = run_once(PLAN_SPEC)
+        second, traces_b = run_once(PLAN_SPEC)
+        assert traces_a == traces_b
+        assert first.makespan == second.makespan
+        assert first.gvt == second.gvt
+        assert asdict(first.stats) == asdict(second.stats)
+        # The plan actually exercised the fault machinery (otherwise
+        # this test proves nothing).
+        assert first.stats.dropped > 0 or first.stats.duplicated > 0 \
+            or first.stats.reordered > 0
+
+    def test_different_seed_different_fault_pattern(self):
+        first, _ = run_once(PLAN_SPEC)
+        second, _ = run_once(PLAN_SPEC.replace("seed=1234", "seed=99"))
+        a = asdict(first.stats)
+        b = asdict(second.stats)
+        # Committed results must agree (reliability layer), but the
+        # fault trajectory should differ for a different seed.
+        assert a["events_committed"] == b["events_committed"]
+        assert a != b
+
+    def test_parse_is_deterministic(self):
+        assert parse_fault_plan(PLAN_SPEC) == parse_fault_plan(PLAN_SPEC)
