@@ -4,12 +4,18 @@ Usage (also via ``python -m repro``):
 
     repro simulate design.vhd --top tb --until 1us --vcd wave.vcd
     repro parallel design.vhd --top tb -p 8 --protocol dynamic
+    repro run      design.vhd --top tb -p 4 --backend procs \
+                   --protocol optimistic
     repro report   design.vhd --top tb
     repro bench    fsm --processors 1 2 4 8
 
 The ``simulate`` command runs the sequential reference engine;
-``parallel`` runs the modelled multiprocessor under any of the paper's
-protocol configurations and prints the synchronization statistics;
+``parallel`` (alias ``run``) executes a parallel backend — the
+modelled multiprocessor by default, or real OS threads
+(``--backend threads``) / real multiprocessing workers with batched
+IPC and token-ring GVT (``--backend procs``) — under any of the
+paper's protocol configurations and prints the synchronization
+statistics;
 ``report`` prints the elaborated LP graph inventory; ``bench`` sweeps a
 built-in benchmark circuit.
 """
@@ -93,21 +99,32 @@ def cmd_parallel(args) -> int:
                 at, _, proc = spec.partition(":")
                 crashes.append((int(at), int(proc)))
             plan = plan.with_crashes(*crashes)
+    backend = getattr(args, "backend", "model")
+    extra = {}
+    if backend != "model":
+        extra["timeout_s"] = args.timeout
+    if backend == "procs":
+        extra["quantum"] = args.quantum
     result = simulate_parallel(design, processors=args.processors,
                                protocol=args.protocol,
                                partition=args.partition,
                                until=_parse_until(args.until),
-                               fault_plan=plan)
+                               backend=backend,
+                               fault_plan=plan, **extra)
     stats = result.stats
     print(f"{design.lp_count} LPs on {args.processors} processors "
-          f"({args.protocol}, {args.partition} partitioning)")
-    print(f"  modelled makespan : {result.parallel_time:.1f} units")
+          f"({backend} backend, {args.protocol}, "
+          f"{args.partition} partitioning)")
+    if result.parallel_time is not None:
+        print(f"  modelled makespan : {result.parallel_time:.1f} units")
     print(f"  committed events  : {stats.events_committed}")
     print(f"  rollbacks         : {stats.rollbacks} "
           f"(efficiency {stats.efficiency:.3f})")
     print(f"  antimessages      : {stats.antimessages}")
     print(f"  deadlock recovery : {stats.deadlock_recoveries} rounds")
     print(f"  mode switches     : {stats.mode_switches}")
+    if backend == "procs":
+        print(f"  batched IPC       : {stats.ipc_summary()}")
     if plan is not None:
         print(f"  fault plan        : {plan.describe()}")
         print(f"  fabric            : {stats.fabric_summary()}")
@@ -124,7 +141,22 @@ def cmd_check(args) -> int:
     one invariant violation / oracle diff (failing schedules are saved
     as replayable artifacts when ``--artifact-dir`` is set).
     """
-    from .harness import Checker, Schedule, check_circuits, replay_schedule
+    from .harness import (Checker, Schedule, check_backend,
+                          check_circuits, replay_schedule)
+
+    if args.backend != "model":
+        failed = False
+        for circuit in args.circuit:
+            run = check_backend(circuit, backend=args.backend,
+                                protocol=args.protocol,
+                                processors=args.processors,
+                                circuit_seed=args.circuit_seed)
+            status = "CLEAN" if run.ok else "FAILED"
+            print(f"{circuit} [{run.label}]: {status}")
+            for violation in run.violations:
+                failed = True
+                print(f"  VIOLATION: {violation}")
+        return 1 if failed else 0
 
     if args.replay:
         try:
@@ -214,27 +246,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design_args(p_sim)
     p_sim.set_defaults(handler=cmd_simulate)
 
-    p_par = sub.add_parser("parallel",
-                           help="run the modelled parallel machine")
-    _add_design_args(p_par)
-    p_par.add_argument("-p", "--processors", type=int, default=4)
-    p_par.add_argument("--protocol", default="dynamic",
-                       choices=["optimistic", "conservative", "mixed",
-                                "dynamic"])
-    p_par.add_argument("--partition", default="round_robin",
-                       choices=["round_robin", "block", "bfs"])
-    p_par.add_argument("--fault-plan", default=None, metavar="SPEC",
-                       help="inject message-fabric faults, e.g. "
-                            "'drop=0.05,dup=0.02,reorder=0.1,seed=7' "
-                            "(keys: drop, dup, reorder, jitter, spike, "
-                            "seed, max_drops; the reliable-delivery "
-                            "layer keeps results sequential-identical)")
-    p_par.add_argument("--crash", action="append", default=None,
-                       metavar="STEP:PROC",
-                       help="crash processor PROC after STEP executed "
-                            "events and recover it from its latest "
-                            "checkpoint (repeatable)")
-    p_par.set_defaults(handler=cmd_parallel)
+    for alias in ("parallel", "run"):
+        p_par = sub.add_parser(
+            alias,
+            help=("run a parallel backend"
+                  if alias == "run"
+                  else "run the modelled parallel machine"))
+        _add_design_args(p_par)
+        p_par.add_argument("-p", "--processors", type=int, default=4)
+        p_par.add_argument("--protocol", default="dynamic",
+                           choices=["optimistic", "conservative", "mixed",
+                                    "dynamic"])
+        p_par.add_argument("--backend", default="model",
+                           choices=["model", "threads", "procs"],
+                           help="execution backend: the deterministic "
+                                "modelled multiprocessor, OS threads, or "
+                                "real multiprocessing workers with "
+                                "batched IPC + token-ring GVT")
+        p_par.add_argument("--partition", default="round_robin",
+                           choices=["round_robin", "block", "bfs"])
+        p_par.add_argument("--quantum", type=int, default=64,
+                           help="events per act-quantum between IPC "
+                                "flushes (threads/procs backends)")
+        p_par.add_argument("--timeout", type=float, default=120.0,
+                           help="wall-clock budget in seconds "
+                                "(threads/procs backends)")
+        p_par.add_argument("--fault-plan", default=None, metavar="SPEC",
+                           help="inject message-fabric faults, e.g. "
+                                "'drop=0.05,dup=0.02,reorder=0.1,seed=7' "
+                                "(keys: drop, dup, reorder, jitter, "
+                                "spike, seed, max_drops; the reliable-"
+                                "delivery layer keeps results "
+                                "sequential-identical)")
+        p_par.add_argument("--crash", action="append", default=None,
+                           metavar="STEP:PROC",
+                           help="crash processor PROC after STEP "
+                                "executed events (model/threads) or "
+                                "GVT commits (procs) and recover it "
+                                "from its latest checkpoint "
+                                "(repeatable)")
+        p_par.set_defaults(handler=cmd_parallel)
 
     p_chk = sub.add_parser(
         "check",
@@ -254,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--protocol", default="dynamic",
                        choices=["optimistic", "conservative", "mixed",
                                 "dynamic"])
+    p_chk.add_argument("--backend", default="model",
+                       choices=["model", "threads", "procs"],
+                       help="'model' explores controlled schedules; "
+                            "'threads'/'procs' run the differential "
+                            "oracle against a real parallel run "
+                            "(OS-chosen interleaving)")
     p_chk.add_argument("--artifact-dir", default=None,
                        help="write failing schedules here as replayable "
                             "JSON artifacts")

@@ -85,6 +85,17 @@ class RunStats:
     #: Events replayed from peers' output journals during recovery.
     replayed: int = 0
 
+    # -- multiprocess-backend counters (repro.parallel.procs) ----------
+    #: Inter-process envelopes sent (batches + acks; serialization
+    #: boundary crossings, the quantity batching amortizes).
+    ipc_batches: int = 0
+    #: Events shipped inside those batches (ipc_events / ipc_batches is
+    #: the achieved amortization factor).
+    ipc_events: int = 0
+    #: Token-ring circulations completed (each is one Mattern GVT wave;
+    #: only a subset commits a new GVT, counted in ``gvt_rounds``).
+    token_waves: int = 0
+
     def count_execution(self, lp_id: int) -> None:
         self.events_executed += 1
         self.events_per_lp[lp_id] = self.events_per_lp.get(lp_id, 0) + 1
@@ -131,6 +142,17 @@ class RunStats:
         self.crashes += other.crashes
         self.recoveries += other.recoveries
         self.replayed += other.replayed
+        self.ipc_batches += other.ipc_batches
+        self.ipc_events += other.ipc_events
+        self.token_waves += other.token_waves
+
+    def ipc_summary(self) -> str:
+        """One-line digest of the multiprocess-backend IPC counters."""
+        per = (self.ipc_events / self.ipc_batches
+               if self.ipc_batches else 0.0)
+        return (f"envelopes={self.ipc_batches} events={self.ipc_events} "
+                f"(avg {per:.1f}/envelope) waves={self.token_waves} "
+                f"commits={self.gvt_rounds}")
 
     def fabric_summary(self) -> str:
         """One-line digest of the delivery-fabric counters."""

@@ -1,0 +1,290 @@
+"""Reliable batched delivery for the multiprocess backend.
+
+The procs backend (:mod:`repro.parallel.procs`) ships events between
+worker processes as pickled **batches** — one envelope per destination
+per act-quantum — so the per-message serialization cost is amortized.
+When a :class:`~repro.fabric.plan.FaultPlan` is active, every event
+inside a batch still needs the reliable-delivery guarantees the other
+backends get from their fabrics.  This module is the per-worker
+endpoint providing them:
+
+* **sender side** — per-link sequence numbers, an output journal, an
+  unacked map, drop/duplicate/overtake injection drawn from the same
+  seeded :class:`~repro.fabric.plan.LinkFaults` dice as the other
+  fabrics (latency-valued faults are realised as overtakes, exactly as
+  in :mod:`repro.fabric.threaded`);
+* **receiver side** — per-link dedup and reorder buffers restoring
+  exactly-once in-order delivery, with acknowledgements accumulated
+  per batch and flushed as one ack envelope;
+* **pump** — the procs backend has neither a model clock nor a
+  stop-the-world round, so retransmission is *token-driven*: at each
+  GVT token visit, messages that have stayed unacknowledged for a full
+  wave are re-posted (dice re-rolled, per-message drop budget capped,
+  so delivery is eventually guaranteed);
+* **crash support** — checkpoint marks (sender ``next_seq``, receiver
+  ``expected`` floors) and the journal-window/replay helpers the
+  backend's die/replay protocol is built from.  The journal, the
+  unacked map and the sequence counters are *durable by construction*
+  (the classic log-before-send assumption): a crash wipes the
+  processor, not the message log.
+
+The endpoint is single-owner state: each worker process owns exactly
+one, so — unlike :class:`~repro.fabric.threaded.ThreadedFabric` — no
+locks are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.event import Event
+from ..core.stats import RunStats
+from .plan import FaultPlan, LinkFaults
+
+#: One transmitted copy inside a batch: (per-link sequence no., event).
+Item = Tuple[int, Event]
+
+
+@dataclass
+class _OutLink:
+    """Sender-side state of one directed worker link."""
+
+    faults: LinkFaults
+    next_seq: int = 0
+    #: Durable output journal (crash-recovery replays from it).
+    journal: Dict[int, Event] = field(default_factory=dict)
+    #: seq -> (event, wave last transmitted); durable, like the journal.
+    unacked: Dict[int, Tuple[Event, int]] = field(default_factory=dict)
+    #: EventIds whose cancellation is already journalled: a recovered
+    #: incarnation re-emitting the same antimessage is suppressed once.
+    spent_anti: set = field(default_factory=set)
+    #: Copies held back to overtake the link's next younger traffic.
+    holdback: List[Item] = field(default_factory=list)
+
+
+@dataclass
+class _InLink:
+    """Receiver-side state of one directed worker link."""
+
+    expected: int = 0
+    buffer: Dict[int, Event] = field(default_factory=dict)
+
+
+class BatchedEndpoint:
+    """One worker's reliable-delivery endpoint over batched IPC."""
+
+    def __init__(self, plan: Optional[FaultPlan], index: int) -> None:
+        self.plan = plan or FaultPlan()
+        self.index = index
+        self.stats = RunStats()
+        #: Current GVT wave (the owner bumps it at each token visit);
+        #: used to age unacked entries for the retransmit pump.
+        self.wave = 0
+        self._out: Dict[int, _OutLink] = {}
+        self._in: Dict[int, _InLink] = {}
+        #: src worker -> seqs delivered since the last ack flush.
+        self._acks_pending: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _out_link(self, dst: int) -> _OutLink:
+        link = self._out.get(dst)
+        if link is None:
+            link = _OutLink(LinkFaults(self.plan, (self.index, dst)))
+            self._out[dst] = link
+        return link
+
+    def _in_link(self, src: int) -> _InLink:
+        link = self._in.get(src)
+        if link is None:
+            link = _InLink()
+            self._in[src] = link
+        return link
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def encode(self, dst: int, events: Iterable[Event]) -> List[Item]:
+        """Journal + fault-inject a flush of events into batch items."""
+        link = self._out_link(dst)
+        stats = self.stats
+        items: List[Item] = []
+        for event in events:
+            if event.sign < 0 and event.eid in link.spent_anti:
+                link.spent_anti.discard(event.eid)
+                stats.suppressed_resends += 1
+                continue
+            seq = link.next_seq
+            link.next_seq += 1
+            link.journal[seq] = event
+            link.unacked[seq] = (event, self.wave)
+            stats.fabric_sent += 1
+            held, link.holdback = link.holdback, []
+            if link.faults.should_drop(seq):
+                stats.dropped += 1
+                items.extend(held)
+                continue
+            copies = link.faults.copies()
+            if copies > 1:
+                stats.duplicated += 1
+            for _ in range(copies):
+                _extra, overtake = link.faults.extra_latency()
+                if overtake:
+                    stats.reordered += 1
+                    link.holdback.append((seq, event))
+                else:
+                    items.append((seq, event))
+            # Held copies go out *after* the current message: they have
+            # been overtaken by younger traffic.
+            items.extend(held)
+        return items
+
+    def ack(self, dst: int, seqs: Iterable[int]) -> None:
+        """Process an ack envelope from ``dst`` for our sends to it."""
+        link = self._out_link(dst)
+        for seq in seqs:
+            if link.unacked.pop(seq, None) is not None:
+                link.faults.forget(seq)
+                self.stats.acks += 1
+
+    def pump(self, wave: int) -> Dict[int, List[Item]]:
+        """Token-visit retransmission: items to re-post, per destination.
+
+        Re-posts every holdback copy and every unacked message last
+        transmitted at least one full wave ago (``wave - 1`` or older:
+        a full circulation has passed, so its ack is overdue).  Drop
+        dice are re-rolled per attempt; the per-message budget bounds
+        how often the plan may keep losing one message.
+        """
+        posts: Dict[int, List[Item]] = {}
+        for dst, link in self._out.items():
+            items = link.holdback
+            link.holdback = []
+            for seq in sorted(link.unacked):
+                event, sent_wave = link.unacked[seq]
+                if sent_wave >= wave:
+                    continue  # transmitted this wave; ack still in flight
+                if link.faults.should_drop(seq):
+                    self.stats.dropped += 1
+                    link.unacked[seq] = (event, wave)
+                    continue
+                self.stats.retransmitted += 1
+                link.unacked[seq] = (event, wave)
+                items.append((seq, event))
+            if items:
+                posts[dst] = items
+        return posts
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def decode(self, src: int, items: Iterable[Item]) -> List[Event]:
+        """Unwrap one batch from ``src`` into in-order deliverable events."""
+        link = self._in_link(src)
+        stats = self.stats
+        acks = self._acks_pending.setdefault(src, [])
+        out: List[Event] = []
+        for seq, event in items:
+            acks.append(seq)  # ack every copy so the sender's map clears
+            if seq < link.expected:
+                stats.dedup_dropped += 1
+                continue
+            if seq > link.expected:
+                if seq in link.buffer:
+                    stats.dedup_dropped += 1
+                else:
+                    link.buffer[seq] = event
+                    stats.reorder_buffered += 1
+                continue
+            out.append(event)
+            link.expected += 1
+            while link.expected in link.buffer:
+                out.append(link.buffer.pop(link.expected))
+                link.expected += 1
+        return out
+
+    def take_acks(self) -> Dict[int, List[int]]:
+        """Collect (and clear) the pending acks, per source worker."""
+        acks, self._acks_pending = self._acks_pending, {}
+        return acks
+
+    # ------------------------------------------------------------------
+    # GVT / termination support
+    # ------------------------------------------------------------------
+    def pending_events(self) -> Iterable[Event]:
+        """Events this endpoint still owes the protocol.
+
+        Unacked copies (the only surviving copy of a dropped message
+        lives here), holdback copies, and reorder-parked arrivals all
+        pin the local GVT contribution.
+        """
+        for link in self._out.values():
+            for event, _wave in link.unacked.values():
+                yield event
+            for _seq, event in link.holdback:
+                yield event
+        for link in self._in.values():
+            for event in link.buffer.values():
+                yield event
+
+    def quiet(self) -> bool:
+        """True when no link owes a delivery or an acknowledgement."""
+        if self._acks_pending:
+            return False
+        for link in self._out.values():
+            if link.unacked or link.holdback:
+                return False
+        for link in self._in.values():
+            if link.buffer:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Crash-recovery support
+    # ------------------------------------------------------------------
+    def checkpoint_marks(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """(sender next_seq per dst, receiver expected per src)."""
+        return ({dst: link.next_seq for dst, link in self._out.items()},
+                {src: link.expected for src, link in self._in.items()})
+
+    def rewind_receiver(self, floors: Dict[int, int]) -> None:
+        """Crash: rewind delivery horizons to the checkpoint floors.
+
+        Everything at or above a floor will be redelivered — by peers'
+        journal replay and by still-queued envelopes — and reassembled
+        in order through the normal buffer path.
+        """
+        for src, link in self._in.items():
+            link.expected = floors.get(src, 0)
+            link.buffer.clear()
+        self._acks_pending.clear()
+
+    def sender_window(self, dst: int, base: int) -> List[Event]:
+        """Journalled sends to ``dst`` from seq ``base`` onwards.
+
+        This is the dead incarnation's post-checkpoint output: the
+        restored replay reconciles it through the lazy-cancellation
+        machinery (reuse what it regenerates, cancel what it abandons).
+        """
+        link = self._out_link(dst)
+        return [link.journal[seq] for seq in range(base, link.next_seq)
+                if seq in link.journal]
+
+    def mark_spent_anti(self, dst: int, eids) -> None:
+        self._out_link(dst).spent_anti |= set(eids)
+
+    def replay_for(self, dst: int, floor: int) -> List[Item]:
+        """Peer-side recovery: re-post journalled sends from ``floor``.
+
+        Entries may already have been delivered and acked — the crashed
+        receiver rewound below them, so they count as owed again and
+        re-enter the unacked map until re-acknowledged.
+        """
+        link = self._out_link(dst)
+        items: List[Item] = []
+        for seq in sorted(s for s in link.journal if s >= floor):
+            event = link.journal[seq]
+            link.unacked[seq] = (event, self.wave)
+            items.append((seq, event))
+        self.stats.replayed += len(items)
+        return items

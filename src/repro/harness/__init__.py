@@ -17,15 +17,16 @@ execute.  This subsystem makes the claim *checkable*:
 """
 
 from .check import (CIRCUITS, Checker, CheckReport, RunReport,
-                    check_circuits, replay_schedule, wave_digest)
+                    check_backend, check_circuits, replay_schedule,
+                    wave_digest)
 from .invariants import check_all
 from .schedule import (DefaultScheduler, RandomScheduler, ReplayScheduler,
                        Schedule, Scheduler, swap_schedule)
 from .trace import TraceRecord, Tracer
 
 __all__ = [
-    "CIRCUITS", "Checker", "CheckReport", "RunReport", "check_circuits",
-    "replay_schedule", "wave_digest", "check_all", "DefaultScheduler",
-    "RandomScheduler", "ReplayScheduler", "Schedule", "Scheduler",
-    "swap_schedule", "TraceRecord", "Tracer",
+    "CIRCUITS", "Checker", "CheckReport", "RunReport", "check_backend",
+    "check_circuits", "replay_schedule", "wave_digest", "check_all",
+    "DefaultScheduler", "RandomScheduler", "ReplayScheduler", "Schedule",
+    "Scheduler", "swap_schedule", "TraceRecord", "Tracer",
 ]

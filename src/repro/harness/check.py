@@ -348,3 +348,57 @@ def check_circuits(circuits: List[str], schedules: int = 25,
                           artifact_dir=artifact_dir)
         reports.append(checker.explore(schedules=schedules, seed=seed))
     return reports
+
+
+def check_backend(circuit: str, backend: str, protocol: str,
+                  processors: int = 2, circuit_seed: int = 0,
+                  until: Optional[int] = None,
+                  **backend_kwargs) -> RunReport:
+    """Differential oracle for the *real* backends (threads / procs).
+
+    The schedule-exploration machinery above drives the modelled
+    machine, whose interleavings the harness controls.  The threaded
+    and multiprocess backends schedule for real — the OS picks the
+    interleaving — so the strongest repeatable check is differential:
+    run the circuit once on the sequential oracle, once on the real
+    backend, and require **byte-identical committed waves** (same
+    digest, empty diff).  Every invocation exercises whatever
+    interleaving the machine happened to produce, so repeated CI runs
+    accumulate schedule coverage for free.
+
+    Returns a :class:`RunReport` whose ``violations`` list is empty on
+    success; ``decisions``/``ncands`` are empty (no controlled
+    schedule exists for a real run).
+    """
+    if circuit not in CIRCUITS:
+        raise ValueError(f"unknown circuit {circuit!r}; choose from "
+                         f"{sorted(CIRCUITS)}")
+    oracle = simulate(CIRCUITS[circuit](circuit_seed), until=until)
+    oracle_digest = wave_digest(oracle)
+    label = f"{backend}/{protocol}"
+    violations: List[str] = []
+    result: Optional[SimulationResult] = None
+    try:
+        result = simulate_parallel(
+            CIRCUITS[circuit](circuit_seed), processors, until=until,
+            protocol=protocol, backend=backend, **backend_kwargs)
+    except ProtocolError as failure:
+        violations.append(f"protocol-error: {failure}")
+    digest = None
+    if result is not None:
+        report = diff_results(oracle, result)
+        if not report.identical:
+            violations.append(
+                "oracle-diff: committed waves differ from the "
+                f"sequential engine ({report.summary()})")
+        digest = wave_digest(result)
+        if digest != oracle_digest:
+            violations.append(
+                f"digest-mismatch: {digest[:12]}... vs oracle "
+                f"{oracle_digest[:12]}...")
+        if result.stats.events_committed != oracle.stats.events_committed:
+            violations.append(
+                f"commit-count: {result.stats.events_committed} vs "
+                f"oracle {oracle.stats.events_committed}")
+    return RunReport(label=label, signature=(), decisions=[],
+                     ncands=[], violations=violations, digest=digest)

@@ -1,17 +1,21 @@
 """Modelled multiprocessor, synchronization protocols, partitioning."""
 
+from .backend import BackendOutcome
 from .cost import DISTRIBUTED, SHARED_MEMORY, CostModel
 from .engine import AdaptPolicy, LPRuntime, Processor, ProtocolError
 from .machine import (PROTOCOLS, ParallelMachine, ParallelOutcome,
                       run_parallel)
 from .partition import (PARTITIONERS, bfs_blocks, block, cut_channels,
                         round_robin)
+from .procs import ProcsMachine, ProcsOutcome, run_procs
 from .threads import ThreadedMachine, ThreadedOutcome, run_threaded
 
 __all__ = [
+    "BackendOutcome",
     "CostModel", "SHARED_MEMORY", "DISTRIBUTED",
     "AdaptPolicy", "LPRuntime", "Processor", "ProtocolError",
     "PROTOCOLS", "ParallelMachine", "ParallelOutcome", "run_parallel",
     "PARTITIONERS", "round_robin", "block", "bfs_blocks", "cut_channels",
+    "ProcsMachine", "ProcsOutcome", "run_procs",
     "ThreadedMachine", "ThreadedOutcome", "run_threaded",
 ]

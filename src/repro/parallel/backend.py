@@ -1,0 +1,86 @@
+"""Shared plumbing for the three parallel backends.
+
+Three backends run the same per-processor engine (:mod:`.engine`):
+
+* the **modelled** machine (:mod:`.machine`) — deterministic
+  co-simulation in model time, the benchmark instrument;
+* the **threaded** backend (:mod:`.threads`) — real OS threads with a
+  stop-the-world coordinator, the concurrency demonstration;
+* the **procs** backend (:mod:`.procs`) — real ``multiprocessing``
+  worker processes with batched IPC and an asynchronous token-ring GVT,
+  the wall-clock-speedup backend.
+
+They share two protocol obligations that used to be duplicated:
+
+* **Epoch stamping at send time** (:func:`stamp_epoch`): a message
+  leaving a currently-conservative LP is a promise its receiver may
+  build safety bounds on, and must carry the sender's conservative
+  epoch; everything else travels unstamped (``epoch = -1``).
+* **The per-processor work predicate** (:func:`proc_has_work`):
+  whether a processor still owes protocol work — queued events within
+  the horizon, undelivered local messages, or withheld lazy
+  cancellations.  Both real-concurrency backends evaluate it at their
+  global synchronization points (barrier round / token visit).
+
+:class:`BackendOutcome` is the common result shape; the per-backend
+outcome types extend it so callers can treat any backend's stats/GVT
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.event import Event
+from ..core.model import SyncMode
+from ..core.stats import RunStats
+from ..core.vtime import VirtualTime
+from .engine import LPRuntime
+
+
+def stamp_epoch(runtimes: Dict[int, LPRuntime], event: Event) -> Event:
+    """Stamp a send with the sender's conservative-promise epoch.
+
+    Only a *positive* message leaving a (currently) conservative LP is a
+    promise; speculative sends and antimessages carry no epoch.  The
+    stamp is taken at send time — the one moment the sender's mode is
+    authoritative for this message.
+    """
+    src_rt = runtimes.get(event.src)
+    if (event.sign > 0 and src_rt is not None
+            and src_rt.mode is SyncMode.CONSERVATIVE):
+        return event.stamped(src_rt.cons_epoch)
+    return event
+
+
+def proc_has_work(proc, until: Optional[int]) -> bool:
+    """Does this processor still owe protocol work?
+
+    True when it holds undelivered local/remote messages, a withheld
+    lazy cancellation (which must eventually resolve to a reuse or an
+    antimessage), or any queued event within the simulation horizon.
+    Blocked conservative heads count: they are waiting for a safety
+    bound, not finished.
+    """
+    if proc.local_fifo or proc.inbox:
+        return True
+    for runtime in proc.runtimes.values():
+        if runtime.lazy_pending:
+            return True  # withheld cancellations must resolve
+        head = runtime.head()
+        if head is None:
+            continue
+        if until is None or head.time.pt <= until:
+            return True
+    return False
+
+
+@dataclass
+class BackendOutcome:
+    """Result shape shared by the real-concurrency backends."""
+
+    stats: RunStats
+    gvt: VirtualTime
+    processors: int
+    gvt_rounds: int

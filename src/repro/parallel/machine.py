@@ -36,6 +36,7 @@ from ..core.stats import RunStats
 from ..core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
 from ..fabric.plan import FaultPlan
 from ..fabric.transport import PerfectFabric, ReliableFabric
+from .backend import stamp_epoch
 from .cost import SHARED_MEMORY, CostModel
 from .engine import AdaptPolicy, LPRuntime, Processor, ProtocolError
 from .partition import PARTITIONERS, Partition
@@ -212,13 +213,9 @@ class ParallelMachine:
 
     def _make_route(self, sender: Processor) -> Callable[[Event], None]:
         def route(event: Event) -> None:
-            # Stamp the conservative-promise epoch at send time: only a
-            # message leaving a (currently) conservative LP is a promise
-            # its receiver may build safety bounds on.
-            src_rt = self._runtimes.get(event.src)
-            if (event.sign > 0 and src_rt is not None
-                    and src_rt.mode is SyncMode.CONSERVATIVE):
-                event = event.stamped(src_rt.cons_epoch)
+            # Stamp the conservative-promise epoch at send time (shared
+            # backend obligation; see repro.parallel.backend).
+            event = stamp_epoch(self._runtimes, event)
             dst_proc = self.procs[self.placement[event.dst]]
             if dst_proc is sender:
                 sender.clock += self.cost.local_msg

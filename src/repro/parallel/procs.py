@@ -1,0 +1,689 @@
+"""True multiprocess backend: the distributed kernel on worker processes.
+
+The threaded backend proves the protocol is a distributed algorithm but
+cannot show wall-clock speedup (CPython's GIL serializes it).  This
+backend runs one :class:`~repro.parallel.engine.Processor` per
+``multiprocessing`` worker — genuinely isolated address spaces that
+communicate **only** through pickled messages — and is where the
+paper's headline claim (speedup from parallel execution) becomes
+measurable on real hardware (``benchmarks/bench_procs_speedup.py``).
+
+Three design decisions carry the backend:
+
+* **Batched IPC.**  Serialization is the dominant cost of process
+  isolation, so events are never shipped one at a time.  Workers run an
+  *act quantum* (up to ``quantum`` event executions), collecting remote
+  sends per destination, then flush each destination's collected events
+  as one pickled envelope.  ``RunStats.ipc_summary()`` reports the
+  achieved amortization (events per envelope).
+
+* **Asynchronous token-ring GVT (Mattern-style).**  There is no
+  stop-the-world coordinator.  A single token circulates the worker
+  ring ``0 -> 1 -> ... -> P-1 -> 0`` carrying, per wave, the minimum
+  timestamp observed at each worker's cut (local queues *plus* the
+  send-minimum of everything shipped since the previous cut) and the
+  cumulative per-channel envelope counts.  When the token returns, the
+  initiator (worker 0) checks the classic two-cut validity condition —
+  every envelope sent before the *previous* wave's cuts has been
+  received before this wave's cuts (per-channel ``recv_w >= sent_w-1``;
+  the queues are per-producer FIFO) — and, if it holds, commits the
+  wave's minimum as the new GVT.  The commit rides the next wave's
+  token; each worker applies it at its visit (fossil collection, lazy
+  flush, releasing blocked conservative LPs) without ever stopping the
+  world.  Termination is the same machinery: a wave on which every
+  worker was idle at its cut and every channel's send/receive counts
+  agree proves there is no in-flight message and no runnable event
+  (any later activation would need an envelope that the matched counts
+  exclude), so the initiator broadcasts the stop.
+
+* **Fabric compatibility.**  A :class:`~repro.fabric.plan.FaultPlan`
+  routes every batch through the per-worker
+  :class:`~repro.fabric.batched.BatchedEndpoint` (sequence numbers,
+  journals, acks, dedup/reorder buffers); retransmission is
+  token-driven (the pump runs at every token visit).  Crash-recovery
+  works on real processes: durable checkpoints are taken at commit
+  application, a crash is delivered as a ``die`` envelope, and the
+  victim restores its checkpoint, reconciles its journaled output
+  window through the lazy-cancellation machinery, rewinds its delivery
+  horizons and broadcasts a recovery notice that makes every peer
+  replay its journal and distrust stale conservative promises (epoch
+  bump) — all without a global barrier.
+
+Like the threaded backend, the procs backend supports the static
+protocols only (optimistic / conservative / mixed); the dynamic mode's
+cross-processor mode sampling has no sound remote implementation
+without extra synchronization.
+
+Requires the ``fork`` start method (workers inherit the built machine;
+nothing but events, tokens and final states ever crosses a pickle
+boundary).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.event import Event
+from ..core.model import Model
+from ..core.stats import RunStats
+from ..core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
+from ..fabric.batched import BatchedEndpoint
+from ..fabric.plan import FaultPlan
+from ..fabric.recovery import checkpoint_processor, restore_processor
+from .backend import BackendOutcome, proc_has_work, stamp_epoch
+from .cost import SHARED_MEMORY
+from .engine import Processor, ProtocolError
+from .machine import ParallelMachine
+from .partition import Partition
+
+
+@dataclass
+class ProcsOutcome(BackendOutcome):
+    """Result of one multiprocess run (the shared backend shape)."""
+
+    #: Token-ring circulations completed (Mattern waves).
+    waves: int = 0
+    #: Wall-clock duration of the run, workers live to joined.
+    wall_time_s: float = 0.0
+
+
+def _fresh_token(wave: int, commit: Optional[VirtualTime]) -> dict:
+    return {"wave": wave, "low": INFINITY, "sent": {}, "recv": {},
+            "busy": False, "commit": commit}
+
+
+class ProcsMachine:
+    """Run a Model on real worker processes; commits identical results."""
+
+    def __init__(self, model: Model, processors: int,
+                 protocol: str = "optimistic",
+                 partition: Union[str, Partition, Callable] = "round_robin",
+                 until: Optional[int] = None,
+                 quantum: int = 64,
+                 fault_plan: Optional[FaultPlan] = None,
+                 recovery: Optional[bool] = None) -> None:
+        if protocol == "dynamic":
+            raise ValueError(
+                "the procs backend supports static protocols only; "
+                "use the modelled machine for the dynamic configuration")
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the procs backend needs the 'fork' start method "
+                "(workers inherit the pre-built machine)")
+        model.validate()
+        self.model = model
+        self.until = until
+        self.quantum = quantum
+        self.plan = fault_plan
+        self.recovery = bool(
+            (fault_plan.needs_recovery if fault_plan is not None else False)
+            if recovery is None else recovery)
+        self.use_fabric = (fault_plan is not None
+                          and (fault_plan.faulty or self.recovery))
+        #: Crash schedule: (completed-GVT-commits, worker) pairs.
+        self._crash_schedule = sorted(
+            fault_plan.crashes) if fault_plan is not None else []
+        if self._crash_schedule and not self.recovery:
+            raise ValueError("a crash schedule requires recovery=True")
+        # Build processors exactly like the other real backend; workers
+        # inherit the fully seeded machine through fork.
+        inner = ParallelMachine(model, processors, protocol=protocol,
+                                cost=SHARED_MEMORY, partition=partition,
+                                until=until)
+        self._inner = inner
+        self.processors = processors
+
+    # ==================================================================
+    # Parent side
+    # ==================================================================
+    def run(self, timeout_s: float = 120.0) -> ProcsOutcome:
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        start = time.monotonic()
+        grace = max(0.5, min(5.0, timeout_s / 10.0))
+        ctx = multiprocessing.get_context("fork")
+        count = self.processors
+        # Created before fork so every worker inherits every queue.
+        self._queues = [ctx.Queue() for _ in range(count)]
+        self._result_queue = ctx.Queue()
+        self._timeout_s = timeout_s
+        workers = []
+        for index in range(count):
+            proc = ctx.Process(target=self._worker_main, args=(index,),
+                               daemon=True)
+            proc.start()
+            workers.append(proc)
+        results: Dict[int, tuple] = {}
+        error: Optional[tuple] = None
+        deadline = start + timeout_s + grace
+        while len(results) < count and error is None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                message = self._result_queue.get(
+                    timeout=min(0.5, remaining))
+            except queue_module.Empty:
+                dead = [i for i, w in enumerate(workers)
+                        if not w.is_alive() and i not in results]
+                if dead:
+                    error = ("error", dead[0],
+                             f"worker {dead[0]} died without reporting "
+                             f"(exit codes: "
+                             f"{[workers[i].exitcode for i in dead]})",
+                             RunStats())
+                continue
+            if message[0] == "done":
+                results[message[1]] = message
+            else:
+                error = message
+        for worker in workers:
+            worker.join(timeout=max(0.05, deadline - time.monotonic()))
+        laggards = [i for i, w in enumerate(workers) if w.is_alive()]
+        for index in laggards:
+            workers[index].terminate()
+            workers[index].join(timeout=grace)
+        partial = RunStats()
+        for message in results.values():
+            partial.merge(message[2])
+        if error is not None:
+            if error[3] is not None:
+                partial.merge(error[3])
+            failure = ProtocolError(
+                f"procs worker {error[1]} failed: {error[2]}")
+            failure.partial_stats = partial
+            raise failure
+        if len(results) < count:
+            missing = sorted(set(range(count)) - set(results))
+            failure = ProtocolError(
+                f"procs run exceeded its {timeout_s:.1f}s deadline; "
+                f"workers {missing} never completed")
+            failure.partial_stats = partial
+            raise failure
+        return self._harvest(results, time.monotonic() - start)
+
+    def _harvest(self, results: Dict[int, tuple],
+                 wall_time_s: float) -> ProcsOutcome:
+        stats = RunStats()
+        gvt = MINUS_INFINITY
+        waves = 0
+        commits = 0
+        for index in range(self.processors):
+            _tag, _i, wstats, lp_states, wgvt, wwaves, wcommits = \
+                results[index]
+            stats.merge(wstats)
+            if wgvt > gvt:
+                gvt = wgvt
+            waves = max(waves, wwaves)
+            commits = max(commits, wcommits)
+            # Pull each worker's final LP states back into the parent's
+            # model so callers (e.g. the VHDL kernel's trace collection)
+            # read results exactly as they do for the other backends.
+            for lp_id, (now, attrs) in lp_states.items():
+                lp = self.model.lps[lp_id]
+                lp.now = now
+                for attr, value in attrs.items():
+                    setattr(lp, attr, value)
+        return ProcsOutcome(stats=stats, gvt=gvt,
+                            processors=self.processors,
+                            gvt_rounds=commits, waves=waves,
+                            wall_time_s=wall_time_s)
+
+    # ==================================================================
+    # Worker side (everything below runs in a forked child)
+    # ==================================================================
+    def _worker_main(self, index: int) -> None:
+        self._index = index
+        self._proc: Processor = self._inner.procs[index]
+        self._runtimes = self._inner._runtimes
+        self._placement = self._inner.placement
+        self._net = RunStats()        # transport counters (crash-durable)
+        self._outbox: Dict[int, List[Event]] = {
+            i: [] for i in range(self.processors) if i != index}
+        self._sent_to: Dict[int, int] = {}
+        self._recv_from: Dict[int, int] = {}
+        self._send_min: VirtualTime = INFINITY
+        self._progressed = False
+        self._gvt: VirtualTime = MINUS_INFINITY
+        self._held_token: Optional[dict] = None
+        self._completed_token: Optional[dict] = None
+        self._stop_info: Optional[tuple] = None
+        self._ckpt = None
+        self._ckpt_marks: Tuple[Dict[int, int], Dict[int, int]] = ({}, {})
+        self.endpoint: Optional[BatchedEndpoint] = (
+            BatchedEndpoint(self.plan, index) if self.use_fabric else None)
+        if index == 0:
+            # Initiator state: a sentinel "completed wave -1" primes the
+            # ring (busy, nothing sent, nothing committable).
+            self._completed_token = {"wave": -1, "low": INFINITY,
+                                     "sent": {}, "recv": {},
+                                     "busy": True, "commit": None}
+            self._prev_sent: Dict[tuple, int] = {}
+            self._gvt_committed: VirtualTime = MINUS_INFINITY
+            self._commits = 0
+        try:
+            self._install_route()
+            if self.recovery:
+                self._take_checkpoint()
+            self._worker_loop()
+            self._report_done()
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            partial = RunStats()
+            try:
+                partial.merge(self._proc.stats)
+                if self.endpoint is not None:
+                    partial.merge(self.endpoint.stats)
+                partial.merge(self._net)
+            except Exception:  # pragma: no cover - diagnostics only
+                pass
+            try:
+                self._result_queue.put(
+                    ("error", index, f"{type(exc).__name__}: {exc}",
+                     partial))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+
+    def _install_route(self) -> None:
+        proc = self._proc
+        runtimes = self._runtimes
+        placement = self._placement
+        outbox = self._outbox
+        index = self._index
+
+        def route(event: Event) -> None:
+            event = stamp_epoch(runtimes, event)
+            target = placement[event.dst]
+            if target == index:
+                proc.local_fifo.append(event)
+            else:
+                outbox[target].append(event)
+
+        proc.route = route
+
+    def _worker_loop(self) -> None:
+        deadline = time.monotonic() + self._timeout_s
+        proc = self._proc
+        quantum = self.quantum
+        while self._stop_info is None:
+            progressed = self._drain(0.0)
+            for _ in range(quantum):
+                if self._stop_info is not None:
+                    return
+                if not proc.act():
+                    break
+                progressed = True
+            if progressed:
+                self._progressed = True
+            self._flush()
+            if self._index == 0 and self._completed_token is not None:
+                self._initiate()
+            elif self._held_token is not None:
+                token, self._held_token = self._held_token, None
+                self._visit(token)
+                self._forward(token)
+            if self._stop_info is not None:
+                return
+            if not progressed and self._held_token is None \
+                    and self._completed_token is None:
+                # Idle: block briefly on the inbound queue; a batch, the
+                # token or the stop will wake us.
+                self._drain(0.0008)
+            if time.monotonic() > deadline:
+                raise ProtocolError(
+                    f"worker {self._index} exceeded the "
+                    f"{self._timeout_s:.1f}s deadline "
+                    f"(gvt {self._gvt}, "
+                    f"{self._proc.stats.events_executed} executed)")
+
+    # ------------------------------------------------------------------
+    # Envelope plumbing
+    # ------------------------------------------------------------------
+    def _post(self, target: int, envelope: tuple) -> None:
+        """Ship one counted envelope (anything but token/stop)."""
+        self._queues[target].put(envelope)
+        self._sent_to[target] = self._sent_to.get(target, 0) + 1
+
+    def _post_batch(self, target: int, items: list) -> None:
+        self._post(target, ("batch", self._index, items))
+        self._net.ipc_batches += 1
+        self._net.ipc_events += len(items)
+        wrapped = self.endpoint is not None
+        for item in items:
+            event = item[1] if wrapped else item
+            if event.time < self._send_min:
+                self._send_min = event.time
+
+    def _flush(self) -> bool:
+        """Ship every destination's collected events as one envelope."""
+        sent_any = False
+        endpoint = self.endpoint
+        for target, events in self._outbox.items():
+            if not events:
+                continue
+            self._outbox[target] = []
+            if endpoint is not None:
+                items = endpoint.encode(target, events)
+                if not items:
+                    continue  # every copy dropped or held back
+            else:
+                items = events
+            self._post_batch(target, items)
+            sent_any = True
+        return sent_any
+
+    def _drain(self, block_s: float) -> bool:
+        """Process inbound envelopes; True if any work was delivered."""
+        inbound = self._queues[self._index]
+        progressed = False
+        if block_s > 0:
+            try:
+                envelope = inbound.get(timeout=block_s)
+            except queue_module.Empty:
+                return False
+            progressed |= self._dispatch(envelope)
+        for _ in range(512):
+            try:
+                envelope = inbound.get_nowait()
+            except queue_module.Empty:
+                break
+            progressed |= self._dispatch(envelope)
+        return progressed
+
+    def _dispatch(self, envelope: tuple) -> bool:
+        kind = envelope[0]
+        if kind == "batch":
+            self._on_batch(envelope[1], envelope[2])
+            return True
+        if kind == "acks":
+            src = envelope[1]
+            self._recv_from[src] = self._recv_from.get(src, 0) + 1
+            self.endpoint.ack(src, envelope[2])
+            return True
+        if kind == "token":
+            if self._index == 0:
+                self._completed_token = envelope[1]
+            else:
+                self._held_token = envelope[1]
+            return False
+        if kind == "recover":
+            self._on_recover(envelope[1], envelope[2], envelope[3])
+            return True
+        if kind == "die":
+            src = envelope[1]
+            self._recv_from[src] = self._recv_from.get(src, 0) + 1
+            self._crash()
+            return True
+        if kind == "stop":
+            self._stop_info = envelope[1:]
+            return True
+        raise ProtocolError(f"unknown envelope kind {kind!r}")
+
+    def _on_batch(self, src: int, items: list) -> None:
+        self._recv_from[src] = self._recv_from.get(src, 0) + 1
+        endpoint = self.endpoint
+        if endpoint is not None:
+            events = endpoint.decode(src, items)
+            # Flush acks immediately: one ack envelope per batch keeps
+            # sender unacked maps (and the retransmit pump) small.
+            for peer, seqs in endpoint.take_acks().items():
+                self._post(peer, ("acks", self._index, seqs))
+                self._net.ipc_batches += 1
+        else:
+            events = items
+        proc = self._proc
+        for event in events:
+            proc.deliver(event)
+            proc.drain_local()
+
+    # ------------------------------------------------------------------
+    # Token-ring GVT
+    # ------------------------------------------------------------------
+    def _local_low(self) -> VirtualTime:
+        """This worker's cut contribution: local state + sends since
+        the previous cut (the Mattern send-minimum)."""
+        low = self._proc.local_min_time()
+        for event in self._proc.local_fifo:
+            if event.time < low:
+                low = event.time
+        for events in self._outbox.values():
+            for event in events:
+                if event.time < low:
+                    low = event.time
+        if self.endpoint is not None:
+            for event in self.endpoint.pending_events():
+                if event.time < low:
+                    low = event.time
+        if self._send_min < low:
+            low = self._send_min
+        return low
+
+    def _busy(self) -> bool:
+        if self._progressed:
+            return True
+        if self._proc.local_fifo:
+            return True
+        if any(self._outbox.values()):
+            return True
+        if self.endpoint is not None and not self.endpoint.quiet():
+            return True
+        return proc_has_work(self._proc, self.until)
+
+    def _visit(self, token: dict) -> None:
+        """One worker's token visit: apply the piggybacked commit, cut,
+        merge counts, run the retransmit pump."""
+        commit = token.get("commit")
+        if commit is not None:
+            self._apply_commit(commit)
+        low = self._local_low()
+        if low < token["low"]:
+            token["low"] = low
+        self._send_min = INFINITY
+        index = self._index
+        for dst, n in self._sent_to.items():
+            token["sent"][(index, dst)] = n
+        for src, n in self._recv_from.items():
+            token["recv"][(src, index)] = n
+        if not token["busy"] and self._busy():
+            token["busy"] = True
+        self._progressed = False
+        if self.endpoint is not None:
+            self.endpoint.wave = token["wave"]
+            for dst, items in self.endpoint.pump(token["wave"]).items():
+                self._post_batch(dst, items)
+        # Commit application may have produced antimessages (lazy flush)
+        # or released blocked LPs whose sends are already queued.
+        self._flush()
+
+    def _forward(self, token: dict) -> None:
+        self._queues[(self._index + 1) % self.processors].put(
+            ("token", token))
+
+    def _apply_commit(self, gvt: VirtualTime) -> None:
+        if gvt <= self._gvt:
+            return
+        self._gvt = gvt
+        proc = self._proc
+        proc.gvt_bound = gvt
+        proc.stats.gvt_rounds += 1
+        for runtime in proc.runtimes.values():
+            proc.flush_lazy(runtime, gvt)
+        proc.drain_local()
+        proc.fossil_collect(gvt)
+        proc.rearm_blocked()
+        if self.recovery:
+            self._take_checkpoint()
+
+    def _initiate(self) -> None:
+        """Initiator: evaluate the completed wave, start the next one."""
+        token, self._completed_token = self._completed_token, None
+        wave = token["wave"]
+        commit: Optional[VirtualTime] = None
+        if wave >= 0:
+            self._net.token_waves += 1
+            sent, recv = token["sent"], token["recv"]
+            # Two-cut validity: everything sent before the PREVIOUS
+            # wave's cuts has been received before this wave's cuts, so
+            # any message still in flight was sent inside the window the
+            # send-minimums cover.
+            valid = all(recv.get(channel, 0) >= n
+                        for channel, n in self._prev_sent.items())
+            candidate = token["low"]
+            if valid and candidate != INFINITY \
+                    and candidate > self._gvt_committed:
+                commit = candidate
+                self._gvt_committed = candidate
+                self._commits += 1
+                while self._crash_schedule and \
+                        self._crash_schedule[0][0] <= self._commits:
+                    _at, victim = self._crash_schedule.pop(0)
+                    self._post(victim, ("die", self._index))
+            if not token["busy"] and commit is None \
+                    and self._counts_settled(sent, recv):
+                self._broadcast_stop()
+                return
+            self._prev_sent = dict(sent)
+        fresh = _fresh_token(wave + 1, commit)
+        self._visit(fresh)
+        if self._stop_info is not None:  # pragma: no cover - defensive
+            return
+        self._forward(fresh)
+
+    @staticmethod
+    def _counts_settled(sent: Dict[tuple, int],
+                        recv: Dict[tuple, int]) -> bool:
+        """Every channel's cumulative send/receive counts agree: no
+        envelope is in flight anywhere."""
+        for channel in set(sent) | set(recv):
+            if sent.get(channel, 0) != recv.get(channel, 0):
+                return False
+        return True
+
+    def _broadcast_stop(self) -> None:
+        info = (self._gvt_committed, self._net.token_waves, self._commits)
+        for peer in range(1, self.processors):
+            self._queues[peer].put(("stop",) + info)
+        self._stop_info = info
+
+    # ------------------------------------------------------------------
+    # Crash-recovery
+    # ------------------------------------------------------------------
+    def _take_checkpoint(self) -> None:
+        """Durable-by-fiat checkpoint (log-before-send model): the
+        processor image plus the fabric's sequence horizons."""
+        self._ckpt = checkpoint_processor(self._proc)
+        self._ckpt_marks = (self.endpoint.checkpoint_marks()
+                            if self.endpoint is not None else ({}, {}))
+
+    def _crash(self) -> None:
+        """Lose all volatile state, recover from the durable checkpoint,
+        reconcile with the world.  Mirrors ``ThreadedFabric.crash`` but
+        needs no stop-the-world: the fabric endpoint (journals, unacked
+        maps, sequence counters) is durable, in-flight input is
+        re-created by the peers' journal replay, and stale conservative
+        promises are invalidated by an epoch-bump broadcast.
+        """
+        endpoint = self.endpoint
+        if endpoint is None:  # pragma: no cover - guarded at build time
+            raise ProtocolError("crash injection requires the fabric")
+        if self._ckpt is None:  # pragma: no cover - taken before loop
+            raise ProtocolError(
+                f"no durable checkpoint for worker {self._index}")
+        endpoint.stats.crashes += 1
+        proc = self._proc
+        pre_epochs = {lp_id: runtime.cons_epoch
+                      for lp_id, runtime in proc.runtimes.items()}
+        restore_processor(proc, self._ckpt)
+        proc.gvt_bound = self._gvt
+        for lp_id, runtime in proc.runtimes.items():
+            runtime.cons_epoch = max(pre_epochs.get(lp_id, 0),
+                                     runtime.cons_epoch) + 1
+        # The un-encoded outbox is volatile: nothing in it was ever
+        # journalled or promised, and the restored replay regenerates
+        # (or abandons) each message on its own authority.
+        for target in self._outbox:
+            self._outbox[target] = []
+        # Outgoing reconciliation: the dead incarnation's journalled
+        # post-checkpoint output feeds the lazy-cancellation machinery —
+        # regenerated messages are reused in place, abandoned ones are
+        # cancelled, and journalled antimessages suppress one re-send.
+        sender_marks, recv_floors = self._ckpt_marks
+        live_sender, _live_recv = endpoint.checkpoint_marks()
+        for dst in live_sender:
+            base = sender_marks.get(dst, 0)
+            window = endpoint.sender_window(dst, base)
+            anti_eids = {e.eid for e in window if e.sign < 0}
+            if anti_eids:
+                endpoint.mark_spent_anti(dst, anti_eids)
+            for event in window:
+                if (event.sign > 0 and not event.is_null
+                        and event.eid not in anti_eids):
+                    runtime = proc.runtimes.get(event.src)
+                    if runtime is not None:
+                        runtime.lazy_pending.append(event)
+        endpoint.rewind_receiver(recv_floors)
+        endpoint.stats.recoveries += 1
+        # Tell every peer: bump your replica epochs (stale conservative
+        # promises from the dead incarnation must not be trusted) and
+        # replay your journal from my checkpoint's delivery horizon.
+        epochs = {lp_id: runtime.cons_epoch
+                  for lp_id, runtime in proc.runtimes.items()}
+        for peer in range(self.processors):
+            if peer == self._index:
+                continue
+            self._post(peer, ("recover", self._index, epochs,
+                              recv_floors.get(peer, 0)))
+
+    def _on_recover(self, victim: int, epochs: Dict[int, int],
+                    floor: int) -> None:
+        """Peer side of a crash: epoch bump + journal replay."""
+        self._recv_from[victim] = self._recv_from.get(victim, 0) + 1
+        for lp_id, epoch in epochs.items():
+            runtime = self._runtimes.get(lp_id)
+            if runtime is not None and runtime.cons_epoch < epoch:
+                runtime.cons_epoch = epoch
+        items = self.endpoint.replay_for(victim, floor)
+        if items:
+            self._post_batch(victim, items)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _report_done(self) -> None:
+        proc = self._proc
+        for runtime in proc.runtimes.values():
+            proc._commit_log(runtime)
+        stats = RunStats()
+        stats.merge(proc.stats)
+        if self.endpoint is not None:
+            stats.merge(self.endpoint.stats)
+        stats.merge(self._net)
+        lp_states = {
+            lp_id: (runtime.lp.now,
+                    {attr: getattr(runtime.lp, attr)
+                     for attr in runtime.lp.state_attrs})
+            for lp_id, runtime in proc.runtimes.items()}
+        gvt, waves, commits = self._stop_info
+        self._result_queue.put(
+            ("done", self._index, stats, lp_states, gvt, waves, commits))
+
+
+def run_procs(model: Model, processors: int,
+              protocol: str = "optimistic",
+              partition: Union[str, Partition, Callable] = "round_robin",
+              until: Optional[int] = None,
+              quantum: int = 64,
+              timeout_s: float = 120.0,
+              fault_plan: Optional[FaultPlan] = None,
+              recovery: Optional[bool] = None) -> ProcsOutcome:
+    """Convenience wrapper mirroring :func:`run_threaded`."""
+    machine = ProcsMachine(model, processors, protocol=protocol,
+                           partition=partition, until=until,
+                           quantum=quantum, fault_plan=fault_plan,
+                           recovery=recovery)
+    return machine.run(timeout_s=timeout_s)

@@ -28,11 +28,12 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
 from ..core.event import Event
-from ..core.model import Model, SyncMode
+from ..core.model import Model
 from ..core.stats import RunStats
 from ..core.vtime import MINUS_INFINITY, VirtualTime
 from ..fabric.plan import FaultPlan
 from ..fabric.threaded import ThreadedFabric
+from .backend import BackendOutcome, proc_has_work, stamp_epoch
 from .cost import SHARED_MEMORY
 from .engine import Processor, ProtocolError
 from .machine import ParallelMachine
@@ -40,11 +41,8 @@ from .partition import Partition
 
 
 @dataclass
-class ThreadedOutcome:
-    stats: RunStats
-    gvt: VirtualTime
-    processors: int
-    gvt_rounds: int
+class ThreadedOutcome(BackendOutcome):
+    """Result of one threaded run (the shared backend shape)."""
 
 
 class _Worker:
@@ -132,10 +130,7 @@ class ThreadedMachine:
         runtimes = self._inner._runtimes
 
         def route(event: Event) -> None:
-            src_rt = runtimes.get(event.src)
-            if (event.sign > 0 and src_rt is not None
-                    and src_rt.mode is SyncMode.CONSERVATIVE):
-                event = event.stamped(src_rt.cons_epoch)
+            event = stamp_epoch(runtimes, event)
             target = self.workers[placement[event.dst]]
             if target.processor is sender:
                 sender.local_fifo.append(event)
@@ -356,17 +351,8 @@ class ThreadedMachine:
             with worker.inbox_lock:
                 if worker.pending:
                     return True
-            proc = worker.processor
-            if proc.local_fifo or proc.inbox:
+            if proc_has_work(worker.processor, self.until):
                 return True
-            for runtime in proc.runtimes.values():
-                if runtime.lazy_pending:
-                    return True  # withheld cancellations must resolve
-                head = runtime.head()
-                if head is None:
-                    continue
-                if self.until is None or head.time.pt <= self.until:
-                    return True
         return False
 
     def _finish(self) -> ThreadedOutcome:

@@ -84,11 +84,16 @@ def simulate(design: Design, until: Optional[int] = None,
     return _collect(design, stats)
 
 
+#: Parallel execution backends selectable by :func:`simulate_parallel`.
+BACKENDS = ("model", "threads", "procs")
+
+
 def simulate_parallel(design: Design, processors: int,
                       until: Optional[int] = None,
                       protocol: str = "dynamic",
+                      backend: str = "model",
                       **machine_kwargs: Any) -> SimulationResult:
-    """Run ``design`` on the modelled parallel machine.
+    """Run ``design`` on a parallel backend.
 
     ``protocol`` selects the synchronization configuration:
 
@@ -97,17 +102,41 @@ def simulate_parallel(design: Design, processors: int,
       with global deadlock recovery);
     * ``"mixed"``        — the paper's static heuristic: clocked/register
       LPs conservative, the rest optimistic;
-    * ``"dynamic"``      — LPs self-adapt between the modes at runtime.
+    * ``"dynamic"``      — LPs self-adapt between the modes at runtime
+      (``"model"`` backend only).
 
-    Returns a result whose ``parallel_time`` is the modelled makespan;
-    speedup against a 1-processor run of the same engine reproduces the
-    paper's speedup figures.
+    ``backend`` selects the machine the protocols execute on:
+
+    * ``"model"``   — the deterministic modelled multiprocessor; its
+      ``parallel_time`` is the modelled makespan, and speedup against a
+      1-processor run reproduces the paper's speedup figures;
+    * ``"threads"`` — real concurrency on OS threads (shared memory);
+    * ``"procs"``   — real parallelism on ``multiprocessing`` workers
+      with batched IPC and token-ring GVT; the only backend that can
+      show wall-clock speedup under CPython's GIL.
+
+    All backends commit identical results; they differ in how they
+    synchronize and in which cost figure (modelled makespan vs. wall
+    clock) is meaningful.
     """
-    from ..parallel.machine import run_parallel  # local import: optional dep
-
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; pick from "
+                         f"{BACKENDS}")
     _claim(design)
     model = design.elaborate()
-    outcome = run_parallel(model, processors=processors, until=until,
-                           protocol=protocol, **machine_kwargs)
-    return _collect(design, outcome.stats,
-                    parallel_time=outcome.makespan, processors=processors)
+    if backend == "model":
+        from ..parallel.machine import run_parallel
+        outcome = run_parallel(model, processors=processors, until=until,
+                               protocol=protocol, **machine_kwargs)
+        return _collect(design, outcome.stats,
+                        parallel_time=outcome.makespan,
+                        processors=processors)
+    if backend == "threads":
+        from ..parallel.threads import run_threaded
+        outcome = run_threaded(model, processors=processors, until=until,
+                               protocol=protocol, **machine_kwargs)
+        return _collect(design, outcome.stats, processors=processors)
+    from ..parallel.procs import run_procs
+    outcome = run_procs(model, processors=processors, until=until,
+                        protocol=protocol, **machine_kwargs)
+    return _collect(design, outcome.stats, processors=processors)

@@ -61,6 +61,19 @@ class StdLogic:
     def __copy__(self) -> "StdLogic":
         return self
 
+    def __reduce__(self):
+        """Pickle as the constructor call ``StdLogic(code)``.
+
+        ``__slots__`` + interning ``__new__`` breaks default pickling
+        (no ``__dict__``, and blind ``__new__(cls)`` would bypass the
+        intern table), which matters the moment events cross a process
+        boundary: the multiprocess backend ships signal values inside
+        pickled event batches.  Round-tripping through the constructor
+        preserves the singleton identity, so ``is`` comparisons and the
+        cheap-deepcopy property survive unpickling in another process.
+        """
+        return (StdLogic, (self.code,))
+
     # Logic operators (X-propagating, per IEEE 1164 tables).
     def __and__(self, other: "StdLogic") -> "StdLogic":
         return _AND[self.code][other.code]

@@ -1,10 +1,20 @@
-"""Events: ordering, identities, antimessage pairing."""
+"""Events: ordering, identities, antimessage pairing, pickling.
+
+The pickling tests exist because the multiprocess backend ships events
+across process boundaries inside pickled batches: an event (and every
+value type a VHDL payload can carry) must round-trip with its ordering
+key, its antimessage identity, and — for ``StdLogic`` — its interned
+singleton identity intact.
+"""
+
+import pickle
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.event import Event, EventId, EventKind, fresh_event_id
 from repro.core.vtime import VirtualTime
+from repro.vhdl.values import SL_0, SL_X, StdLogic, sl, slv
 
 
 def make(pt=0, lt=0, kind=EventKind.USER, dst=0, src=1, seq=0,
@@ -73,3 +83,64 @@ class TestEventId:
     def test_ordering(self):
         assert EventId(1, 5) < EventId(2, 0)
         assert EventId(1, 5) < EventId(1, 6)
+
+
+class TestPickling:
+    """Round-trips across the multiprocess backend's IPC boundary."""
+
+    def roundtrip(self, obj):
+        return pickle.loads(pickle.dumps(obj))
+
+    def test_event_roundtrip_preserves_ordering_key(self):
+        e = make(pt=7, lt=3, kind=EventKind.SIGNAL_ASSIGN, dst=4,
+                 src=2, seq=9, payload=("sig", 1))
+        back = self.roundtrip(e)
+        assert back.sort_key() == e.sort_key()
+        assert back.time == e.time
+        assert back.eid == e.eid
+        assert back.kind is e.kind
+        assert back.payload == e.payload
+        assert back.send_time == e.send_time
+
+    def test_antimessage_identity_survives(self):
+        e = make(pt=3, seq=5, payload="x")
+        anti = self.roundtrip(e.antimessage())
+        assert anti.is_antimessage
+        assert anti.matches(self.roundtrip(e))
+
+    def test_virtual_time_roundtrip(self):
+        t = VirtualTime(123, 45)
+        assert self.roundtrip(t) == t
+        assert isinstance(self.roundtrip(t), VirtualTime)
+
+    def test_stdlogic_singletons_survive(self):
+        """Interned scalars keep ``is`` identity across processes
+        (StdLogic.__reduce__ re-routes unpickling through the
+        constructor's intern table)."""
+        for char in "UX01ZWLH-":
+            value = sl(char)
+            assert self.roundtrip(value) is value
+
+    def test_vector_payload_roundtrip(self):
+        vec = slv("01XZ")
+        back = self.roundtrip(vec)
+        assert back == vec
+        assert all(b is v for b, v in zip(back, vec))
+
+    def test_event_with_stdlogic_payload(self):
+        e = make(kind=EventKind.SIGNAL_UPDATE, payload=(3, SL_0))
+        back = self.roundtrip(e)
+        assert back.payload[1] is SL_0
+        assert back.payload[1] is not SL_X
+
+    def test_batch_roundtrip_preserves_sort(self):
+        events = [make(pt=p, lt=l, seq=s)
+                  for p, l, s in [(2, 0, 1), (1, 3, 2), (1, 3, 1),
+                                  (5, 0, 0)]]
+        back = self.roundtrip(events)
+        assert [e.sort_key() for e in sorted(back)] \
+            == [e.sort_key() for e in sorted(events)]
+
+    def test_stdlogic_rejects_bad_code_on_unpickle_path(self):
+        with pytest.raises(ValueError):
+            StdLogic(17)

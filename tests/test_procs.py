@@ -1,0 +1,157 @@
+"""Multiprocess backend: real parallelism with exact results.
+
+Differential policy mirrors ``tests/test_threads.py``: every procs run
+is compared against a fresh sequential run of the same circuit and the
+committed waves must be **byte-identical** — same traces, same commit
+count.  The backend schedules for real (the OS interleaves worker
+processes), so each CI run exercises a new interleaving for free.
+
+Timing policy: one deadline budget per run, from
+``REPRO_TEST_TIMEOUT_S`` (default 120 s; a hang detector, not a
+performance assertion).  Overruns surface ``partial_stats`` so logs
+show where the machine stopped.
+
+The full fsm/iir/dct x protocol matrix is expensive (tens of seconds
+of real multi-process simulation), so only the small-fsm matrix runs
+in tier-1; the rest is marked ``slow`` (``pytest -m slow`` runs it).
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.circuits import build_dct, build_fsm, build_iir, build_random
+from repro.fabric.plan import FaultPlan
+from repro.parallel.engine import ProtocolError
+from repro.parallel.procs import ProcsMachine, run_procs
+from repro.vhdl import simulate
+
+RUN_BUDGET_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="procs backend requires the fork start method")
+
+
+def run_with_budget(model, processors, protocol, **kwargs):
+    """Run the procs backend under the module's deadline budget."""
+    try:
+        return run_procs(model, processors=processors, protocol=protocol,
+                         timeout_s=RUN_BUDGET_S, **kwargs)
+    except ProtocolError as failure:
+        partial = getattr(failure, "partial_stats", None)
+        detail = ""
+        if partial is not None:
+            detail = (f" (partial progress: "
+                      f"{partial.events_committed} committed, "
+                      f"{partial.events_executed} executed, "
+                      f"{partial.rollbacks} rollbacks)")
+        pytest.fail(f"procs run failed within {RUN_BUDGET_S:.0f}s "
+                    f"budget: {failure}{detail}")
+
+
+def assert_matches_sequential(build, protocol, processors=3, **kwargs):
+    """One differential check: procs waves == sequential waves."""
+    ref_circuit = build()
+    ref = simulate(ref_circuit.design)
+    circuit = build()
+    outcome = run_with_budget(circuit.design.elaborate(), processors,
+                              protocol, **kwargs)
+    traces = {s.name: s.trace() for s in circuit.design.signals
+              if s.traced}
+    assert traces == ref.traces
+    assert outcome.stats.events_committed == ref.stats.events_committed
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Tier-1: small circuits, every protocol, faults, crashes.
+# ---------------------------------------------------------------------------
+@needs_fork
+@pytest.mark.parametrize("protocol", ["optimistic", "conservative",
+                                      "mixed"])
+def test_procs_fsm_matches_sequential(protocol):
+    outcome = assert_matches_sequential(
+        lambda: build_fsm(cells=4, cycles=4), protocol)
+    assert outcome.waves >= 1
+    assert outcome.gvt_rounds >= 1
+    assert outcome.stats.ipc_batches >= 1
+    # Batching amortizes: strictly more events than envelopes overall
+    # would be circuit-dependent, but the counters must be consistent.
+    assert outcome.stats.ipc_events >= 0
+    assert outcome.wall_time_s > 0.0
+
+
+@needs_fork
+def test_procs_random_logic_optimistic():
+    assert_matches_sequential(lambda: build_random(13), "optimistic")
+
+
+@needs_fork
+def test_procs_fault_plan_drop_reorder():
+    """Lossy, duplicating, reordering fabric; results still exact."""
+    outcome = assert_matches_sequential(
+        lambda: build_fsm(cells=4, cycles=4), "optimistic",
+        fault_plan=FaultPlan(drop=0.08, duplicate=0.05, reorder=0.08,
+                             seed=7))
+    stats = outcome.stats
+    assert stats.dropped > 0
+    assert stats.retransmitted > 0
+    assert stats.dedup_dropped > 0 or stats.reorder_buffered > 0
+    assert stats.acks > 0
+
+
+@needs_fork
+def test_procs_worker_crash_recovery():
+    """A worker process loses its volatile state mid-run and recovers
+    from its checkpoint + peers' journal replay; waves stay exact."""
+    outcome = assert_matches_sequential(
+        lambda: build_fsm(cells=4, cycles=4), "optimistic",
+        fault_plan=FaultPlan(seed=11).with_crashes((2, 1)))
+    assert outcome.stats.crashes >= 1
+    assert outcome.stats.recoveries >= 1
+    assert outcome.stats.replayed > 0
+
+
+@needs_fork
+def test_procs_rejects_dynamic():
+    model = build_random(1).design.elaborate()
+    with pytest.raises(ValueError):
+        ProcsMachine(model, 2, protocol="dynamic")
+
+
+@needs_fork
+def test_procs_crash_schedule_requires_recovery():
+    model = build_random(1).design.elaborate()
+    plan = FaultPlan(seed=1).with_crashes((1, 0))
+    with pytest.raises(ValueError):
+        ProcsMachine(model, 2, protocol="optimistic", fault_plan=plan,
+                     recovery=False)
+
+
+# ---------------------------------------------------------------------------
+# Slow matrix: the paper's benchmark circuits under every protocol.
+# ---------------------------------------------------------------------------
+@needs_fork
+@pytest.mark.slow
+@pytest.mark.parametrize("protocol", ["optimistic", "conservative",
+                                      "mixed"])
+def test_procs_iir_matches_sequential(protocol):
+    assert_matches_sequential(lambda: build_iir(sections=2), protocol)
+
+
+@needs_fork
+@pytest.mark.slow
+@pytest.mark.parametrize("protocol", ["optimistic", "conservative",
+                                      "mixed"])
+def test_procs_dct_matches_sequential(protocol):
+    assert_matches_sequential(lambda: build_dct(n=4), protocol)
+
+
+@needs_fork
+@pytest.mark.slow
+def test_procs_fault_plan_on_dct():
+    assert_matches_sequential(
+        lambda: build_dct(n=4), "optimistic",
+        fault_plan=FaultPlan(drop=0.05, reorder=0.05, seed=3))

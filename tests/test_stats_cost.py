@@ -1,10 +1,39 @@
-"""RunStats accounting and the cost model."""
+"""RunStats accounting and the cost model.
+
+``RunStats.merge`` is the multiprocess backend's aggregation primitive:
+every worker ships its own counters back to the parent, which folds
+them into one report.  The property tests below pin down the algebra
+that makes this correct regardless of worker count or merge order —
+additivity for event/IPC counters, ``max`` for peaks and final time,
+and dict-union-with-sum for the per-LP load map.
+"""
+
+import dataclasses
+import random
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.core.stats import RunStats
-from repro.core.vtime import VirtualTime
+from repro.core.vtime import VirtualTime, ZERO
 from repro.parallel.cost import DISTRIBUTED, SHARED_MEMORY, CostModel
+
+#: Counter fields folded additively by ``merge`` (everything except the
+#: max-folded peaks/final_time and the per-LP dict).
+_ADDITIVE = [f.name for f in dataclasses.fields(RunStats)
+             if f.type == "int" and f.name != "peak_speculative"]
+
+
+def _random_stats(rng: random.Random) -> RunStats:
+    stats = RunStats()
+    for name in _ADDITIVE:
+        setattr(stats, name, rng.randrange(0, 50))
+    stats.peak_speculative = rng.randrange(0, 100)
+    stats.final_time = VirtualTime(rng.randrange(0, 1000),
+                                   rng.randrange(0, 5))
+    stats.events_per_lp = {lp: rng.randrange(1, 20)
+                           for lp in rng.sample(range(8), rng.randrange(4))}
+    return stats
 
 
 class TestRunStats:
@@ -42,6 +71,80 @@ class TestRunStats:
         text = stats.summary()
         assert "rollbacks=4" in text
         assert "nulls=2" in text
+
+    def test_merge_covers_ipc_counters(self):
+        a = RunStats(ipc_batches=3, ipc_events=30, token_waves=5)
+        b = RunStats(ipc_batches=2, ipc_events=10, token_waves=7)
+        a.merge(b)
+        assert a.ipc_batches == 5
+        assert a.ipc_events == 40
+        assert a.token_waves == 12
+
+    def test_ipc_summary(self):
+        stats = RunStats(ipc_batches=4, ipc_events=20, token_waves=9,
+                         gvt_rounds=3)
+        text = stats.ipc_summary()
+        assert "envelopes=4" in text
+        assert "avg 5.0/envelope" in text
+        assert "waves=9" in text
+        assert "commits=3" in text
+        assert "avg 0.0/envelope" in RunStats().ipc_summary()
+
+
+class TestMergeAlgebra:
+    """Worker-count and merge-order independence of RunStats.merge."""
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_merge_equals_single_process_totals(self, seed):
+        """Partitioning counters across N workers and merging yields
+        the same totals a single process would have accumulated."""
+        rng = random.Random(seed)
+        workers = [_random_stats(rng) for _ in range(rng.randrange(1, 6))]
+        merged = RunStats()
+        for worker in workers:
+            merged.merge(worker)
+        for name in _ADDITIVE:
+            assert getattr(merged, name) \
+                == sum(getattr(w, name) for w in workers), name
+        assert merged.peak_speculative \
+            == max(w.peak_speculative for w in workers)
+        assert merged.final_time == max(w.final_time for w in workers)
+        totals = {}
+        for worker in workers:
+            for lp, count in worker.events_per_lp.items():
+                totals[lp] = totals.get(lp, 0) + count
+        assert merged.events_per_lp == totals
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_merge_is_order_independent(self, seed):
+        rng = random.Random(seed)
+        workers = [_random_stats(rng) for _ in range(4)]
+        forward = RunStats()
+        for worker in workers:
+            forward.merge(worker)
+        backward = RunStats()
+        for worker in reversed(workers):
+            backward.merge(worker)
+        assert forward == backward
+
+    def test_merge_identity(self):
+        rng = random.Random(7)
+        stats = _random_stats(rng)
+        snapshot = dataclasses.replace(
+            stats, events_per_lp=dict(stats.events_per_lp))
+        stats.merge(RunStats())
+        # Merging an empty RunStats changes nothing (ZERO/empty are
+        # the identity for every fold).
+        assert stats == snapshot
+        assert RunStats().final_time == ZERO
+
+    def test_additive_covers_every_int_counter(self):
+        """Guard: a newly added int counter must be folded by merge —
+        this catches fields added to RunStats but forgotten in merge."""
+        assert "ipc_batches" in _ADDITIVE
+        assert "token_waves" in _ADDITIVE
+        assert "events_committed" in _ADDITIVE
+        assert "peak_speculative" not in _ADDITIVE
 
 
 class TestCostModel:
