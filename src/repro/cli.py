@@ -29,6 +29,7 @@ from typing import List, Optional
 from .analysis import measure_speedups, speedup_table
 from .analysis.vcd import write_vcd
 from .core.vtime import format_time, parse_time
+from .parallel.engine import ProtocolError
 from .vhdl import simulate, simulate_parallel
 from .vhdl.frontend import elaborate
 
@@ -103,14 +104,31 @@ def cmd_parallel(args) -> int:
     extra = {}
     if backend != "model":
         extra["timeout_s"] = args.timeout
+        if args.watchdog is not None:
+            extra["watchdog_s"] = args.watchdog
+    elif args.watchdog is not None:
+        extra["watchdog"] = int(args.watchdog)
     if backend == "procs":
         extra["quantum"] = args.quantum
-    result = simulate_parallel(design, processors=args.processors,
-                               protocol=args.protocol,
-                               partition=args.partition,
-                               until=_parse_until(args.until),
-                               backend=backend,
-                               fault_plan=plan, **extra)
+    try:
+        result = simulate_parallel(design, processors=args.processors,
+                                   protocol=args.protocol,
+                                   partition=args.partition,
+                                   until=_parse_until(args.until),
+                                   backend=backend,
+                                   fault_plan=plan, **extra)
+    except ProtocolError as failure:
+        report = getattr(failure, "stall_report", None)
+        if report is not None:
+            print(report.describe())
+        else:
+            print(f"protocol error: {failure}")
+        partial = getattr(failure, "partial_stats", None)
+        if partial is not None:
+            print(f"  partial stats : {partial.events_committed} "
+                  f"committed, {partial.rollbacks} rollbacks, "
+                  f"{partial.liveness_summary()}")
+        return 1
     stats = result.stats
     print(f"{design.lp_count} LPs on {args.processors} processors "
           f"({backend} backend, {args.protocol}, "
@@ -174,10 +192,14 @@ def cmd_check(args) -> int:
         print("result: " + ("CLEAN" if run.ok else "FAILED"))
         return 0 if run.ok else 1
 
+    watchdog = None if args.watchdog is None else int(args.watchdog)
+
     if args.record:
         checker = Checker(args.circuit[0], circuit_seed=args.circuit_seed,
                           processors=args.processors,
-                          protocol=args.protocol)
+                          protocol=args.protocol,
+                          lazy_cancellation=args.lazy_cancellation,
+                          watchdog=watchdog)
         schedule, run = checker.record()
         schedule.save(args.record)
         print(f"recorded {schedule.circuit} schedule "
@@ -192,7 +214,9 @@ def cmd_check(args) -> int:
                              circuit_seed=args.circuit_seed,
                              processors=args.processors,
                              protocol=args.protocol,
-                             artifact_dir=args.artifact_dir)
+                             artifact_dir=args.artifact_dir,
+                             lazy_cancellation=args.lazy_cancellation,
+                             watchdog=watchdog)
     failed = False
     for report in reports:
         print(report.summary())
@@ -271,6 +295,14 @@ def build_parser() -> argparse.ArgumentParser:
         p_par.add_argument("--timeout", type=float, default=120.0,
                            help="wall-clock budget in seconds "
                                 "(threads/procs backends)")
+        p_par.add_argument("--watchdog", type=float, default=None,
+                           metavar="BOUND",
+                           help="liveness watchdog bound: machine steps "
+                                "without GVT progress (model backend) or "
+                                "seconds (threads/procs).  On by default "
+                                "at a generous bound; 0 disables.  A "
+                                "diagnosed stall prints a forensic "
+                                "report instead of hanging")
         p_par.add_argument("--fault-plan", default=None, metavar="SPEC",
                            help="inject message-fabric faults, e.g. "
                                 "'drop=0.05,dup=0.02,reorder=0.1,seed=7' "
@@ -292,7 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="conformance-check the protocol over explored schedules")
     p_chk.add_argument("--circuit", nargs="+",
                        default=["fsm", "random"],
-                       choices=["fsm", "random"],
+                       choices=["fsm", "random", "random-full"],
                        help="built-in circuits to explore")
     p_chk.add_argument("--schedules", type=int, default=25,
                        help="distinct interleavings to explore per "
@@ -314,6 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--artifact-dir", default=None,
                        help="write failing schedules here as replayable "
                             "JSON artifacts")
+    p_chk.add_argument("--lazy-cancellation", action="store_true",
+                       help="explore with lazy cancellation enabled "
+                            "(the configuration of the seed-360472 "
+                            "deadlock)")
+    p_chk.add_argument("--watchdog", type=float, default=None,
+                       metavar="STEPS",
+                       help="step watchdog bound for explored runs "
+                            "(default: on, generous; 0 disables)")
     p_chk.add_argument("--record", default=None, metavar="PATH",
                        help="record the canonical schedule of the first "
                             "--circuit to PATH and exit")

@@ -115,7 +115,8 @@ class LogicalProcess:
                       send_time=self.now)
         if self.tracer is not None:
             self.tracer.record("send", lp=self.lp_id, time=time,
-                               dst=dst, kind=int(kind))
+                               dst=dst, kind=int(kind),
+                               eid=(event.eid.src, event.eid.seq))
         self._outbox.append(event)
         return event
 

@@ -96,6 +96,21 @@ class RunStats:
     #: only a subset commits a new GVT, counted in ``gvt_rounds``).
     token_waves: int = 0
 
+    # -- liveness counters (repro.resilience) --------------------------
+    #: Virtual-time surface samples taken (one per observation point:
+    #: GVT round on model/threads, token wave on procs).
+    vt_spread_samples: int = 0
+    #: Sum over samples of the surface width (max - min local clock, in
+    #: femtoseconds) — width_sum / samples is the mean Korniss
+    #: surface roughness of the run.
+    vt_spread_width_sum: int = 0
+    #: Widest surface observed (max-folded by ``merge``).
+    vt_spread_width_max: int = 0
+    #: Watchdog progress probes performed.
+    watchdog_probes: int = 0
+    #: Stalls diagnosed by the watchdog (0 on any healthy run).
+    watchdog_stalls: int = 0
+
     def count_execution(self, lp_id: int) -> None:
         self.events_executed += 1
         self.events_per_lp[lp_id] = self.events_per_lp.get(lp_id, 0) + 1
@@ -145,6 +160,12 @@ class RunStats:
         self.ipc_batches += other.ipc_batches
         self.ipc_events += other.ipc_events
         self.token_waves += other.token_waves
+        self.vt_spread_samples += other.vt_spread_samples
+        self.vt_spread_width_sum += other.vt_spread_width_sum
+        self.vt_spread_width_max = max(self.vt_spread_width_max,
+                                       other.vt_spread_width_max)
+        self.watchdog_probes += other.watchdog_probes
+        self.watchdog_stalls += other.watchdog_stalls
 
     def ipc_summary(self) -> str:
         """One-line digest of the multiprocess-backend IPC counters."""
@@ -153,6 +174,16 @@ class RunStats:
         return (f"envelopes={self.ipc_batches} events={self.ipc_events} "
                 f"(avg {per:.1f}/envelope) waves={self.token_waves} "
                 f"commits={self.gvt_rounds}")
+
+    def liveness_summary(self) -> str:
+        """One-line digest of the liveness/spread instrumentation."""
+        mean = (self.vt_spread_width_sum / self.vt_spread_samples
+                if self.vt_spread_samples else 0.0)
+        return (f"spread_samples={self.vt_spread_samples} "
+                f"width_mean={mean:.1f}fs "
+                f"width_max={self.vt_spread_width_max}fs "
+                f"probes={self.watchdog_probes} "
+                f"stalls={self.watchdog_stalls}")
 
     def fabric_summary(self) -> str:
         """One-line digest of the delivery-fabric counters."""

@@ -277,6 +277,10 @@ class ThreadedFabric:
                     runtime = proc.runtimes.get(event.src)
                     if runtime is not None:
                         runtime.lazy_pending.append(event)
+                        # See ReliableFabric: injected entries are
+                        # outstanding cancellations — lower the horizon.
+                        if proc.cancel_note is not None:
+                            proc.cancel_note(event.time)
         # Incoming replay.
         recv_marks = self._ckpt_recv_expected.get(index, {})
         replayed = 0

@@ -40,6 +40,12 @@ CIRCUITS: Dict[str, Callable[[int], object]] = {
     "fsm": lambda seed: build_fsm(cells=4, cycles=4).design,
     "random": lambda seed: build_random(seed, gates=10, registers=3,
                                         stimulus_bits=2, cycles=3).design,
+    # Full-size random logic (the generator's defaults): the circuit
+    # class in which schedule exploration found the orphaned-
+    # antimessage deadlock (seed 360472, dynamic protocol with lazy
+    # cancellation — see tests/artifacts/).  Expensive; meant for
+    # targeted checks and replay artifacts rather than exploration.
+    "random-full": lambda seed: build_random(seed).design,
 }
 
 #: Livelock guard for controlled runs (a pathological schedule must
@@ -110,7 +116,10 @@ class Checker:
     def __init__(self, circuit: str, circuit_seed: int = 0,
                  processors: int = 2, protocol: str = "dynamic",
                  until: Optional[int] = None,
-                 artifact_dir: Optional[str] = None) -> None:
+                 artifact_dir: Optional[str] = None,
+                 lazy_cancellation: bool = False,
+                 max_steps: int = MAX_STEPS,
+                 watchdog: Optional[int] = None) -> None:
         if circuit not in CIRCUITS:
             raise ValueError(f"unknown circuit {circuit!r}; choose from "
                              f"{sorted(CIRCUITS)}")
@@ -120,6 +129,9 @@ class Checker:
         self.protocol = protocol
         self.until = until
         self.artifact_dir = artifact_dir
+        self.lazy_cancellation = lazy_cancellation
+        self.max_steps = max_steps
+        self.watchdog = watchdog
         self._oracle: Optional[SimulationResult] = None
         self.oracle_digest = ""
 
@@ -145,7 +157,9 @@ class Checker:
             result = simulate_parallel(
                 self._design(), self.processors, until=self.until,
                 protocol=self.protocol, tracer=tracer,
-                scheduler=scheduler, max_steps=MAX_STEPS)
+                scheduler=scheduler, max_steps=self.max_steps,
+                lazy_cancellation=self.lazy_cancellation,
+                watchdog=self.watchdog)
         except ProtocolError as failure:
             violations.append(f"protocol-error: {failure}")
         digest = None
@@ -297,7 +311,8 @@ class Checker:
             processors=self.processors, protocol=self.protocol,
             decisions=decisions, label=run.label,
             wave_digest=self.oracle_digest,
-            violations=run.violations)
+            violations=run.violations,
+            lazy_cancellation=self.lazy_cancellation)
         index = len(report.artifacts)
         path = os.path.join(self.artifact_dir,
                             f"fail-{self.circuit}-{index}.json")
@@ -315,7 +330,8 @@ class Checker:
             processors=self.processors, protocol=self.protocol,
             decisions=run.decisions, ncands=run.ncands,
             label="recorded", wave_digest=run.digest,
-            violations=run.violations)
+            violations=run.violations,
+            lazy_cancellation=self.lazy_cancellation)
         return schedule, run
 
 
@@ -325,7 +341,8 @@ def replay_schedule(schedule: Schedule,
     checker = Checker(schedule.circuit,
                       circuit_seed=schedule.circuit_seed,
                       processors=schedule.processors,
-                      protocol=schedule.protocol, until=until)
+                      protocol=schedule.protocol, until=until,
+                      lazy_cancellation=schedule.lazy_cancellation)
     run = checker.run_schedule(schedule.replayer(), "replay")
     if schedule.wave_digest and run.digest \
             and run.digest != schedule.wave_digest:
@@ -338,14 +355,18 @@ def replay_schedule(schedule: Schedule,
 def check_circuits(circuits: List[str], schedules: int = 25,
                    seed: int = 0, circuit_seed: int = 0,
                    processors: int = 2, protocol: str = "dynamic",
-                   artifact_dir: Optional[str] = None
+                   artifact_dir: Optional[str] = None,
+                   lazy_cancellation: bool = False,
+                   watchdog: Optional[int] = None
                    ) -> List[CheckReport]:
     """Explore every named circuit; the CLI entry point's core."""
     reports = []
     for circuit in circuits:
         checker = Checker(circuit, circuit_seed=circuit_seed,
                           processors=processors, protocol=protocol,
-                          artifact_dir=artifact_dir)
+                          artifact_dir=artifact_dir,
+                          lazy_cancellation=lazy_cancellation,
+                          watchdog=watchdog)
         reports.append(checker.explore(schedules=schedules, seed=seed))
     return reports
 

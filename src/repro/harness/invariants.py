@@ -20,6 +20,12 @@ The invariants encode the synchronization protocol's safety arguments:
 * **Rollback/antimessage accounting** — trace-visible rollbacks,
   squashed events and antimessages must balance the engine's own
   counters, and committed = executed - rolled back.
+* **Antimessage lifecycle accounting** — every emitted negative refers
+  to a positive that was really sent, never to one already committed,
+  and annihilates (queued / processed / parked) before termination.
+  This is the invariant that pins the orphaned-antimessage deadlock
+  (PR 6): a withheld lazy cancellation whose positive commits can never
+  annihilate.
 * **Fabric retransmit = loss** — with the in-flight accounting of the
   reliable fabric, a retransmission happens exactly once per genuinely
   lost copy (crash-free runs): spurious retransmissions would mean the
@@ -143,6 +149,80 @@ def check_rollback_balance(tracer: Tracer, stats) -> List[str]:
     return violations
 
 
+def check_anti_accounting(tracer: Tracer, stats) -> List[str]:
+    """Every emitted antimessage has a matching positive and annihilates.
+
+    The safety argument behind lazy cancellation is an accounting one:
+    a negative may only exist for a positive that was actually sent, the
+    positive must never have been irrevocably committed (cancelling
+    committed work cannot be rolled back — this is exactly the shape of
+    the orphaned-antimessage deadlock fixed in this layer), and by the
+    end of a completed run every negative must have annihilated against
+    its positive in the queue (``ctx="queued"``), the processed log
+    (``ctx="processed"``) or the parked-negatives table
+    (``ctx="parked"``).  A negative still parked at termination is an
+    orphan: its positive can no longer arrive.
+
+    Crash-recovery runs are exempt: journal replay legitimately re-sends
+    copies whose originals the trace already accounted, and the
+    spent-anti machinery suppresses re-emissions the trace never sees
+    (see docs/fault-model.md).
+    """
+    if stats.crashes:
+        return []
+    violations: List[str] = []
+    sent = set()
+    committed = set()
+    antis = {}
+    annihilated = {}
+    for rec in tracer.records:
+        eid = rec.info.get("eid")
+        if eid is None:
+            continue
+        if rec.action == "send":
+            sent.add(eid)
+        elif rec.action == "commit":
+            committed.add(eid)
+            if eid in antis:
+                violations.append(
+                    f"anti-accounting: eid {eid} committed at {rec.time} "
+                    f"after an antimessage was emitted for it "
+                    f"(ctx={rec.info.get('ctx')})")
+        elif rec.action == "anti":
+            if eid not in sent:
+                violations.append(
+                    f"anti-accounting: antimessage for eid {eid} at "
+                    f"{rec.time} without a recorded positive send")
+            if eid in committed:
+                violations.append(
+                    f"anti-accounting: antimessage for eid {eid} at "
+                    f"{rec.time} targets an already-committed event "
+                    f"(ctx={rec.info.get('ctx')})")
+            if eid in antis:
+                violations.append(
+                    f"anti-accounting: duplicate antimessage for eid "
+                    f"{eid} (ctx={rec.info.get('ctx')})")
+            antis[eid] = rec
+        elif rec.action == "annihilate":
+            if eid in annihilated:
+                violations.append(
+                    f"anti-accounting: eid {eid} annihilated twice "
+                    f"({annihilated[eid]} then {rec.info.get('ctx')})")
+            annihilated[eid] = rec.info.get("ctx")
+    for eid, rec in antis.items():
+        if eid not in annihilated:
+            violations.append(
+                f"anti-accounting: antimessage for eid {eid} "
+                f"(t={rec.time}, ctx={rec.info.get('ctx')}) never "
+                f"annihilated — orphaned negative at termination")
+    for eid in annihilated:
+        if eid not in antis:
+            violations.append(
+                f"anti-accounting: annihilation for eid {eid} "
+                f"({annihilated[eid]}) without a recorded antimessage")
+    return violations
+
+
 def check_fabric_balance(tracer: Tracer, stats) -> List[str]:
     """Losses and retransmissions balance (crash-free runs exactly)."""
     violations: List[str] = []
@@ -172,5 +252,6 @@ def check_all(tracer: Tracer, stats) -> List[str]:
     violations += check_commit_monotonic_per_lp(tracer)
     violations += check_phase_legality(tracer)
     violations += check_rollback_balance(tracer, stats)
+    violations += check_anti_accounting(tracer, stats)
     violations += check_fabric_balance(tracer, stats)
     return violations

@@ -180,6 +180,11 @@ class Schedule:
     label: str = "recorded"
     wave_digest: Optional[str] = None
     violations: List[str] = field(default_factory=list)
+    #: Whether the run used lazy cancellation (the seed-360472
+    #: deadlock reproduces only with it on).  Optional in the JSON —
+    #: artifacts recorded before PR 6 default to False, so the format
+    #: version is unchanged.
+    lazy_cancellation: bool = False
 
     # -- (de)serialization --------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -194,6 +199,7 @@ class Schedule:
             "label": self.label,
             "wave_digest": self.wave_digest,
             "violations": self.violations,
+            "lazy_cancellation": self.lazy_cancellation,
         }
 
     def save(self, path: str) -> None:
@@ -220,6 +226,7 @@ class Schedule:
             label=data.get("label", "recorded"),
             wave_digest=data.get("wave_digest"),
             violations=list(data.get("violations", [])),
+            lazy_cancellation=bool(data.get("lazy_cancellation", False)),
         )
 
     def replayer(self) -> ReplayScheduler:

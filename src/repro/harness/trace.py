@@ -19,11 +19,20 @@ Hook sites (all added by this subsystem):
 * :meth:`repro.parallel.engine.Processor._rollback` — ``rollback``,
   ``anti``
 * lazy-cancellation flush paths                    — ``anti``
+* annihilation sites (``_deliver_positive`` /
+  ``_deliver_negative``)                           — ``annihilate``
+  (``ctx`` says where the match was found: ``"queued"``,
+  ``"processed"`` or ``"parked"``)
 * :meth:`repro.parallel.engine.Processor.fossil_collect` /
   ``_commit_log``                                  — ``commit``
 * :meth:`repro.parallel.machine.ParallelMachine._gvt_round` — ``gvt``
 * :class:`repro.fabric.transport.ReliableFabric`   — ``drop``,
   ``retransmit``, ``checkpoint`` (durable), ``crash``
+
+Event-lifecycle records (``send``/``recv``/``exec``/``commit``/``anti``
+/``annihilate``) carry the event's identity as ``eid=(src_lp, seq)`` so
+checkers can follow one message through its whole life — the
+antimessage-accounting invariant is built entirely on this.
 
 A trace is a plain list of :class:`TraceRecord`; the invariant checkers
 in :mod:`repro.harness.invariants` scan it linearly.

@@ -264,6 +264,16 @@ class Processor:
         #: the reliable fabric).  None = the item *is* the event.
         self.ingress: Optional[Callable[[Any], Iterable[Event]]] = None
         self.gvt_bound: VirtualTime = MINUS_INFINITY
+        #: Cancellation horizon: lower bound on the virtual time of any
+        #: withheld (lazy) or in-flight cancellation anywhere in the
+        #: system.  Maintained by the backend — lowered eagerly through
+        #: ``cancel_note`` whenever a cancellation comes into existence,
+        #: raised (recomputed exactly) only at global rounds.  The
+        #: conservative safety rule may commit only strictly below it.
+        self.cancel_floor: VirtualTime = INFINITY
+        #: Backend hook invoked with the timestamp of every new
+        #: outstanding cancellation (withheld entry or routed anti).
+        self.cancel_note: Optional[Callable[[VirtualTime], None]] = None
         self.until: Optional[int] = None
         self.lookahead_of: Callable[[int, int], Optional[Tuple[int, int]]] \
             = lambda src, dst: None
@@ -349,7 +359,8 @@ class Processor:
         if self.tracer is not None:
             self.tracer.record("recv", self.index, event.dst, event.time,
                                kind=int(event.kind), src=event.src,
-                               sign=event.sign)
+                               sign=event.sign,
+                               eid=(event.eid.src, event.eid.seq))
         self._note_channel_clock(runtime, event)
         if event.kind is EventKind.NULL:
             self._arm(runtime)
@@ -385,6 +396,11 @@ class Processor:
         pending = runtime.negatives.pop(event.eid, None)
         if pending is not None:
             self.stats.annihilations += 1
+            if self.tracer is not None:
+                self.tracer.record("annihilate", self.index, event.dst,
+                                   event.time,
+                                   eid=(event.eid.src, event.eid.seq),
+                                   ctx="parked")
             return  # the antimessage was waiting for this positive
         if runtime.processed and runtime.mode is SyncMode.OPTIMISTIC:
             last_time = runtime.processed[-1].event.time
@@ -406,6 +422,11 @@ class Processor:
         if head_match:
             runtime.cancelled.add(event.eid)
             self.stats.annihilations += 1
+            if self.tracer is not None:
+                self.tracer.record("annihilate", self.index, event.dst,
+                                   event.time,
+                                   eid=(event.eid.src, event.eid.seq),
+                                   ctx="queued")
             self._arm(runtime)
             return
         for index, entry in enumerate(runtime.processed):
@@ -416,6 +437,11 @@ class Processor:
                 self._rollback(runtime, index)
                 runtime.cancelled.add(event.eid)
                 self.stats.annihilations += 1
+                if self.tracer is not None:
+                    self.tracer.record("annihilate", self.index, event.dst,
+                                       event.time,
+                                       eid=(event.eid.src, event.eid.seq),
+                                       ctx="processed")
                 self._arm(runtime)
                 return
         # The positive has not arrived yet (possible across processors).
@@ -500,12 +526,18 @@ class Processor:
                 # rewriting, has no stable owner to reconcile against.
                 if self.lazy_cancellation and sent.dst != lp_id:
                     runtime.lazy_pending.append(sent)
+                    if self.cancel_note is not None:
+                        self.cancel_note(sent.time)
                 else:
                     self.stats.antimessages += 1
                     if self.tracer is not None:
                         self.tracer.record("anti", self.index, lp_id,
                                            sent.time, dst=sent.dst,
+                                           eid=(sent.eid.src,
+                                                sent.eid.seq),
                                            ctx="rollback")
+                    if self.cancel_note is not None:
+                        self.cancel_note(sent.time)
                     self.route(sent.antimessage())
         self._arm(runtime)
 
@@ -621,7 +653,19 @@ class Processor:
         bound = self._input_bound(runtime)
         if self.user_consistent:
             return event.time < bound
-        return event.time <= bound
+        if event.time > bound:
+            return False
+        # Arbitrary model: execution *at* the bound is normally safe —
+        # simultaneous positives commute.  Cancellations do not: they
+        # annihilate.  A conservative execution commits irrevocably, so
+        # it must additionally stay strictly below the cancellation
+        # horizon — the earliest virtual time at which a withheld
+        # (lazy) or in-flight antimessage anywhere in the system could
+        # still arrive.  Without this clause a release floor pinned at
+        # a withheld cancellation's own timestamp lets the receiver
+        # commit the very event that cancellation targets (the
+        # orphaned-antimessage deadlock; see docs/protocol.md).
+        return event.time < self.cancel_floor
 
     def _input_bound(self, runtime: LPRuntime) -> VirtualTime:
         """Lower bound on this LP's future arrivals.
@@ -666,7 +710,8 @@ class Processor:
         if self.tracer is not None:
             self.tracer.record("exec", self.index, lp.lp_id, event.time,
                                kind=int(event.kind),
-                               mode=runtime.mode.name)
+                               mode=runtime.mode.name,
+                               eid=(event.eid.src, event.eid.seq))
         lp.now = event.time
         lp.simulate(event)
         out = lp.drain_outbox()
@@ -692,7 +737,8 @@ class Processor:
             self.stats.final_time = max(self.stats.final_time, event.time)
             if self.tracer is not None:
                 self.tracer.record("commit", self.index, lp.lp_id,
-                                   event.time, ctx="conservative")
+                                   event.time, ctx="conservative",
+                                   eid=(event.eid.src, event.eid.seq))
         for message in to_route:
             self.route(message)
         if runtime.lazy_pending:
@@ -748,7 +794,10 @@ class Processor:
                 if self.tracer is not None:
                     self.tracer.record("anti", self.index,
                                        runtime.lp.lp_id, pending.time,
-                                       dst=pending.dst, ctx="lazy-passed")
+                                       dst=pending.dst,
+                                       eid=(pending.eid.src,
+                                            pending.eid.seq),
+                                       ctx="lazy-passed")
                 self.route(pending.antimessage())
             else:
                 keep.append(pending)
@@ -769,7 +818,10 @@ class Processor:
                 if self.tracer is not None:
                     self.tracer.record("anti", self.index,
                                        runtime.lp.lp_id, pending.time,
-                                       dst=pending.dst, ctx="lazy-flush")
+                                       dst=pending.dst,
+                                       eid=(pending.eid.src,
+                                            pending.eid.seq),
+                                       ctx="lazy-flush")
                 self.route(pending.antimessage())
             else:
                 keep.append(pending)
@@ -893,7 +945,9 @@ class Processor:
             if self.tracer is not None:
                 self.tracer.record("commit", self.index,
                                    runtime.lp.lp_id, entry.event.time,
-                                   ctx=ctx)
+                                   ctx=ctx,
+                                   eid=(entry.event.eid.src,
+                                        entry.event.eid.seq))
         runtime.processed.clear()
 
     # ------------------------------------------------------------------
@@ -950,6 +1004,8 @@ class Processor:
                         self.tracer.record(
                             "commit", self.index, runtime.lp.lp_id,
                             entry.event.time, ctx="fossil",
-                            gvt=(gvt[0], gvt[1]))
+                            gvt=(gvt[0], gvt[1]),
+                            eid=(entry.event.eid.src,
+                                 entry.event.eid.seq))
                 del entries[:cut]
                 self.stats.fossils_collected += cut

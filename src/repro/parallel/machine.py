@@ -36,6 +36,8 @@ from ..core.stats import RunStats
 from ..core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
 from ..fabric.plan import FaultPlan
 from ..fabric.transport import PerfectFabric, ReliableFabric
+from ..resilience import (DEFAULT_MODEL_STEPS, StepWatchdog, build_report,
+                          resolve_watchdog, surface)
 from .backend import stamp_epoch
 from .cost import SHARED_MEMORY, CostModel
 from .engine import AdaptPolicy, LPRuntime, Processor, ProtocolError
@@ -77,6 +79,7 @@ class ParallelMachine:
                  until: Optional[int] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  recovery: Optional[bool] = None,
+                 watchdog: Optional[int] = None,
                  tracer=None, scheduler=None) -> None:
         model.validate()
         if processors < 1:
@@ -132,6 +135,17 @@ class ParallelMachine:
         self._since_gvt = 0
         self._blocked_at_gvt = 0
         self._peak_speculative = 0
+        # Liveness: step-count watchdog (wall clock is meaningless on the
+        # modelled machine) probed at GVT rounds — a healthy machine runs
+        # rounds every few dozen events, so the marker is examined often,
+        # while the per-step loop stays free of liveness bookkeeping.
+        self.watchdog_bound = int(
+            resolve_watchdog(watchdog, DEFAULT_MODEL_STEPS))
+        self._watchdog = StepWatchdog(self.watchdog_bound)
+        self._steps = 0
+        #: Machine-level liveness counters (vt-surface spread samples,
+        #: watchdog probes) merged into the outcome stats at _finish.
+        self._liveness = RunStats()
         if tracer is not None:
             self.fabric.tracer = tracer
         self._build()
@@ -204,6 +218,7 @@ class ParallelMachine:
             proc.until = self.until
             proc.lookahead_of = self._lookahead_for
             proc.gvt_bound = self.gvt
+            proc.cancel_note = self._note_cancellation
         for lp in self.model.lps:
             runtime = self._runtimes[lp.lp_id]
             for event in lp.init_events():
@@ -282,11 +297,115 @@ class ParallelMachine:
             proc.fossil_collect(self.gvt)
             proc.rearm_blocked()
         self.fabric.on_gvt_round(self)
+        # Cancellation horizon: exact recompute now that flushes/drains
+        # settled — the only point where the floor may *rise*.  (It is
+        # lowered eagerly through cancel_note between rounds.)
+        floor = self._cancellation_floor()
+        for proc in self.procs:
+            proc.cancel_floor = floor
+            proc.rearm_blocked()
+        self._sample_spread()
         self._since_gvt = 0
         self._blocked_at_gvt = self._blocked_polls()
+        if self._watchdog.tick(self._progress_marker(), self._steps):
+            self._stall("no GVT advance or commit in "
+                        f"{self._watchdog.idle} steps "
+                        f"(bound {self.watchdog_bound})")
 
     def _blocked_polls(self) -> int:
         return sum(proc.stats.blocked_polls for proc in self.procs)
+
+    # ------------------------------------------------------------------
+    # Liveness (repro.resilience)
+    # ------------------------------------------------------------------
+    def _note_cancellation(self, time: VirtualTime) -> None:
+        """Eagerly lower every processor's cancellation horizon.
+
+        Invoked by processors (``cancel_note``) the moment a cancellation
+        comes into existence — withheld under lazy cancellation or routed
+        as an antimessage.  Lowering is always sound; the horizon is
+        raised (recomputed exactly) only at GVT rounds.
+        """
+        for proc in self.procs:
+            if time < proc.cancel_floor:
+                proc.cancel_floor = time
+
+    def _cancellation_floor(self) -> VirtualTime:
+        """Min virtual time over every outstanding cancellation.
+
+        Counts withheld lazy entries and in-flight antimessages (local
+        FIFOs, processor inboxes, fabric backlog).  Negatives parked in
+        ``runtime.negatives`` are excluded: their positive has not
+        arrived, so the event they target cannot be executed —
+        ``_deliver_positive`` annihilates against the parked negative
+        before the positive can ever be queued.
+        """
+        low = INFINITY
+        for proc in self.procs:
+            for runtime in proc.runtimes.values():
+                for pending in runtime.lazy_pending:
+                    if pending.time < low:
+                        low = pending.time
+            for event in proc.local_fifo:
+                if event.sign < 0 and event.time < low:
+                    low = event.time
+            for _at, _seq, event in proc.inbox:
+                if event.sign < 0 and event.time < low:
+                    low = event.time
+        for event in self.fabric.pending_events():
+            if event.sign < 0 and event.time < low:
+                low = event.time
+        return low
+
+    def _sample_spread(self) -> None:
+        """Record the Korniss virtual-time surface width at this round."""
+        if not self._watchdog.enabled:
+            # watchdog=0 turns the whole liveness layer off, sampling
+            # included — the uninstrumented baseline the overhead
+            # benchmark measures against.
+            return
+        lo, hi, width = surface(
+            runtime.lp.now
+            for proc in self.procs
+            for runtime in proc.runtimes.values())
+        if lo is None:
+            return
+        self._liveness.vt_spread_samples += 1
+        self._liveness.vt_spread_width_sum += width
+        if width > self._liveness.vt_spread_width_max:
+            self._liveness.vt_spread_width_max = width
+
+    def _progress_marker(self) -> Tuple:
+        return (self.gvt,
+                sum(proc.stats.events_committed for proc in self.procs))
+
+    def _partial_stats(self) -> RunStats:
+        stats = RunStats()
+        for proc in self.procs:
+            stats.merge(proc.stats)
+        stats.merge(self.fabric.stats)
+        self._liveness.watchdog_probes = self._watchdog.probes
+        stats.merge(self._liveness)
+        stats.peak_speculative = self._peak_speculative
+        return stats
+
+    def _stall(self, reason: str) -> None:
+        """Diagnose an unrecoverable stall: raise with full forensics."""
+        self._liveness.watchdog_stalls += 1
+        report = build_report(
+            "model", reason, self.procs, gvt=self.gvt,
+            bound=self.watchdog_bound,
+            in_flight={
+                "fabric_pending": sum(1 for _ in
+                                      self.fabric.pending_events()),
+                "inbox": sum(len(proc.inbox) for proc in self.procs),
+                "local_fifo": sum(len(proc.local_fifo)
+                                  for proc in self.procs),
+            })
+        error = ProtocolError(f"stall diagnosed: {reason}")
+        error.stall_report = report
+        error.partial_stats = self._partial_stats()
+        raise error
 
     def _note_speculative_peak(self) -> None:
         total = sum(len(runtime.processed)
@@ -439,8 +558,8 @@ class ParallelMachine:
         crashes = list(self._crash_schedule)
         while True:
             if max_steps is not None and steps >= max_steps:
-                raise ProtocolError(
-                    f"machine exceeded {max_steps} steps (livelock?)")
+                self._stall(f"machine exceeded {max_steps} steps "
+                            f"(livelock?)")
             while crashes and crashes[0][0] <= steps:
                 _at, victim = crashes.pop(0)
                 self.kill(victim)
@@ -472,7 +591,7 @@ class ParallelMachine:
                     # Otherwise: the user-consistent strictness or a
                     # genuine stall.
                     if not self._force_minimum():
-                        raise ProtocolError(
+                        self._stall(
                             "deadlock recovery failed to make progress "
                             f"(gvt {before} -> {self.gvt})")
                 continue
@@ -480,6 +599,7 @@ class ParallelMachine:
                 self.fabric.poll(proc)
                 self._since_gvt += 1
                 steps += 1
+                self._steps = steps
                 due = self._since_gvt >= self.gvt_interval
                 blocked_due = (
                     self._since_gvt >= self.blocked_gvt_min_interval
@@ -517,6 +637,7 @@ class ParallelMachine:
                             self.tracer.record(
                                 "anti", proc.index, runtime.lp.lp_id,
                                 pending.time, dst=pending.dst,
+                                eid=(pending.eid.src, pending.eid.seq),
                                 ctx="gvt-flush")
                         proc.route(pending.antimessage())
                         flushed = True
@@ -566,11 +687,7 @@ class ParallelMachine:
         for proc in self.procs:
             for runtime in proc.runtimes.values():
                 proc._commit_log(runtime)
-        stats = RunStats()
-        for proc in self.procs:
-            stats.merge(proc.stats)
-        stats.merge(self.fabric.stats)
-        stats.peak_speculative = self._peak_speculative
+        stats = self._partial_stats()
         from .partition import cut_channels
         return ParallelOutcome(
             stats=stats,
@@ -596,6 +713,7 @@ def run_parallel(model: Model, processors: int,
                  max_steps: Optional[int] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  recovery: Optional[bool] = None,
+                 watchdog: Optional[int] = None,
                  tracer=None, scheduler=None) -> ParallelOutcome:
     """Convenience wrapper: build a machine and run it to completion."""
     machine = ParallelMachine(model, processors, protocol=protocol,
@@ -606,6 +724,6 @@ def run_parallel(model: Model, processors: int,
                               checkpoint_interval=checkpoint_interval,
                               lazy_cancellation=lazy_cancellation,
                               until=until, fault_plan=fault_plan,
-                              recovery=recovery,
+                              recovery=recovery, watchdog=watchdog,
                               tracer=tracer, scheduler=scheduler)
     return machine.run(max_steps=max_steps)

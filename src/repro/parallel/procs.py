@@ -74,6 +74,8 @@ from ..core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
 from ..fabric.batched import BatchedEndpoint
 from ..fabric.plan import FaultPlan
 from ..fabric.recovery import checkpoint_processor, restore_processor
+from ..resilience import (DEFAULT_WALL_S, WallClockWatchdog, build_report,
+                          resolve_watchdog)
 from .backend import BackendOutcome, proc_has_work, stamp_epoch
 from .cost import SHARED_MEMORY
 from .engine import Processor, ProtocolError
@@ -91,9 +93,21 @@ class ProcsOutcome(BackendOutcome):
     wall_time_s: float = 0.0
 
 
-def _fresh_token(wave: int, commit: Optional[VirtualTime]) -> dict:
+def _fresh_token(wave: int, commit: Optional[VirtualTime],
+                 floor: VirtualTime = INFINITY,
+                 settled: bool = False) -> dict:
     return {"wave": wave, "low": INFINITY, "sent": {}, "recv": {},
-            "busy": False, "commit": commit}
+            "busy": False, "commit": commit,
+            # Liveness additions (PR 6): "anti_low" accumulates each
+            # worker's min outstanding-cancellation time at its cut;
+            # "floor" carries the committed global cancellation horizon
+            # alongside the GVT commit; "settled" tells workers the
+            # previous wave's channel counts matched exactly (nothing in
+            # flight), letting them prune their anti buckets one wave
+            # earlier; "vt_min"/"vt_max" accumulate the per-LP clock
+            # surface for the Korniss roughness signal.
+            "anti_low": INFINITY, "floor": floor, "settled": settled,
+            "vt_min": None, "vt_max": None}
 
 
 class ProcsMachine:
@@ -105,7 +119,8 @@ class ProcsMachine:
                  until: Optional[int] = None,
                  quantum: int = 64,
                  fault_plan: Optional[FaultPlan] = None,
-                 recovery: Optional[bool] = None) -> None:
+                 recovery: Optional[bool] = None,
+                 watchdog_s: Optional[float] = None) -> None:
         if protocol == "dynamic":
             raise ValueError(
                 "the procs backend supports static protocols only; "
@@ -138,6 +153,8 @@ class ProcsMachine:
                                 until=until)
         self._inner = inner
         self.processors = processors
+        self.watchdog_bound = float(
+            resolve_watchdog(watchdog_s, DEFAULT_WALL_S))
 
     # ==================================================================
     # Parent side
@@ -177,7 +194,7 @@ class ProcsMachine:
                              f"worker {dead[0]} died without reporting "
                              f"(exit codes: "
                              f"{[workers[i].exitcode for i in dead]})",
-                             RunStats())
+                             RunStats(), None)
                 continue
             if message[0] == "done":
                 results[message[1]] = message
@@ -198,6 +215,8 @@ class ProcsMachine:
             failure = ProtocolError(
                 f"procs worker {error[1]} failed: {error[2]}")
             failure.partial_stats = partial
+            if len(error) > 4 and error[4] is not None:
+                failure.stall_report = error[4]
             raise failure
         if len(results) < count:
             missing = sorted(set(range(count)) - set(results))
@@ -256,6 +275,16 @@ class ProcsMachine:
         self._stop_info: Optional[tuple] = None
         self._ckpt = None
         self._ckpt_marks: Tuple[Dict[int, int], Dict[int, int]] = ({}, {})
+        # Cancellation-horizon bookkeeping (see docs/protocol.md):
+        # antimessages this worker routed, bucketed by the token wave
+        # period they were sent in; buckets are pruned once the ring's
+        # two-cut argument proves delivery.  ``_floor_committed`` is the
+        # last global horizon that rode in with a GVT commit.
+        self._anti_mins: Dict[int, VirtualTime] = {}
+        self._cut_wave = -1
+        self._floor_committed: VirtualTime = INFINITY
+        self._watchdog = WallClockWatchdog(self.watchdog_bound)
+        self._stall_report = None
         self.endpoint: Optional[BatchedEndpoint] = (
             BatchedEndpoint(self.plan, index) if self.use_fabric else None)
         if index == 0:
@@ -276,6 +305,7 @@ class ProcsMachine:
         except BaseException as exc:  # noqa: BLE001 - forwarded to parent
             partial = RunStats()
             try:
+                self._net.watchdog_probes += self._watchdog.probes
                 partial.merge(self._proc.stats)
                 if self.endpoint is not None:
                     partial.merge(self.endpoint.stats)
@@ -285,7 +315,7 @@ class ProcsMachine:
             try:
                 self._result_queue.put(
                     ("error", index, f"{type(exc).__name__}: {exc}",
-                     partial))
+                     partial, self._stall_report))
             except Exception:  # pragma: no cover - queue already broken
                 pass
 
@@ -305,6 +335,76 @@ class ProcsMachine:
                 outbox[target].append(event)
 
         proc.route = route
+        # Override the hook the inner ParallelMachine installed at build
+        # time: in a forked worker only this processor is live, and its
+        # horizon must be maintained by the ring (which also *raises* it
+        # again) — the inherited machine-wide note would lower it
+        # forever and starve every conservative LP.
+        proc.cancel_note = self._note_cancellation
+        proc.cancel_floor = INFINITY
+
+    def _note_cancellation(self, time: VirtualTime) -> None:
+        """Eager horizon lowering: a cancellation just came into
+        existence on this worker (withheld entry or routed anti).
+
+        The time is also bucketed under the wave period it was minted
+        in; the bucket is dropped once the token ring's two-cut
+        condition proves every envelope of that period was received.
+        """
+        bucket = self._cut_wave + 1
+        current = self._anti_mins.get(bucket)
+        if current is None or time < current:
+            self._anti_mins[bucket] = time
+        proc = self._proc
+        if time < proc.cancel_floor:
+            proc.cancel_floor = time
+
+    def _local_anti_low(self) -> VirtualTime:
+        """Min outstanding-cancellation time this worker knows about:
+        unpruned anti buckets, withheld lazy entries (crash-recovery
+        reconciliation), and negatives owed by the fabric endpoint."""
+        low = INFINITY
+        for value in self._anti_mins.values():
+            if value < low:
+                low = value
+        for runtime in self._proc.runtimes.values():
+            for pending in runtime.lazy_pending:
+                if pending.time < low:
+                    low = pending.time
+        if self.endpoint is not None:
+            for event in self.endpoint.pending_events():
+                if event.sign < 0 and event.time < low:
+                    low = event.time
+        return low
+
+    def _prune_anti_buckets(self, before_wave: int) -> None:
+        for bucket in [b for b in self._anti_mins if b <= before_wave]:
+            del self._anti_mins[bucket]
+
+    def _stall(self, reason: str) -> None:
+        """Diagnose an unrecoverable worker stall: checkpoint (so a
+        post-mortem restore is possible), assemble the forensics report
+        and abort.  The report ships to the parent through the error
+        pipe and surfaces on the raised :class:`ProtocolError`."""
+        self._net.watchdog_stalls += 1
+        if self.recovery:
+            self._take_checkpoint()
+        in_flight = {
+            "sent_to": {dst: n for dst, n in sorted(self._sent_to.items())},
+            "recv_from": {src: n
+                          for src, n in sorted(self._recv_from.items())},
+            "outbox": sum(len(v) for v in self._outbox.values()),
+            "cut_wave": self._cut_wave,
+        }
+        if self.endpoint is not None:
+            in_flight["fabric_pending"] = len(
+                list(self.endpoint.pending_events()))
+        gvt = self._gvt if self._gvt != MINUS_INFINITY else None
+        self._stall_report = build_report(
+            "procs", reason, [self._proc], gvt=gvt,
+            bound=self._watchdog.bound, in_flight=in_flight,
+            origin=self._index)
+        raise ProtocolError("stall diagnosed: " + reason)
 
     def _worker_loop(self) -> None:
         deadline = time.monotonic() + self._timeout_s
@@ -334,8 +434,15 @@ class ProcsMachine:
                 # Idle: block briefly on the inbound queue; a batch, the
                 # token or the stop will wake us.
                 self._drain(0.0008)
+            if self._watchdog.tick(
+                    (self._gvt, proc.stats.events_committed)):
+                self._stall(
+                    f"no GVT advance or commit on worker {self._index} "
+                    f"in {self._watchdog.bound:.1f}s "
+                    f"(gvt {self._gvt}, "
+                    f"{proc.stats.events_executed} executed)")
             if time.monotonic() > deadline:
-                raise ProtocolError(
+                self._stall(
                     f"worker {self._index} exceeded the "
                     f"{self._timeout_s:.1f}s deadline "
                     f"(gvt {self._gvt}, "
@@ -477,12 +584,47 @@ class ProcsMachine:
     def _visit(self, token: dict) -> None:
         """One worker's token visit: apply the piggybacked commit, cut,
         merge counts, run the retransmit pump."""
+        wave = token["wave"]
         commit = token.get("commit")
         if commit is not None:
+            # The commit proves wave-1 was two-cut valid: everything
+            # sent before cut wave-2 was received.  Bucket b holds antis
+            # minted between cuts b-1 and b; the envelope carrying one
+            # may only leave at the end of visit b, i.e. before cut b+1
+            # — so bucket b is provably delivered once b+1 <= wave-2.
+            self._prune_anti_buckets(wave - 3)
             self._apply_commit(commit)
+        if token.get("settled"):
+            # The previous wave's channel counts matched exactly:
+            # everything sent before cut wave-1 was received, which
+            # covers buckets up to wave-2 (same +1 flush slack).
+            self._prune_anti_buckets(wave - 2)
+        floor = token.get("floor", INFINITY)
+        if floor != INFINITY or self._floor_committed != INFINITY:
+            # The global horizon needs no two-cut validity: every
+            # outstanding cancellation stays in its originator's
+            # bucket/lazy list until delivery is *proven*, so last
+            # wave's anti_low covers everything that existed at the
+            # cuts, and anything minted since is strictly above the
+            # GVT that bounds conservative execution anyway.
+            self._floor_committed = floor
+            self._refresh_cancel_floor()
+        self._cut_wave = wave
         low = self._local_low()
         if low < token["low"]:
             token["low"] = low
+        anti_low = self._local_anti_low()
+        if anti_low < token["anti_low"]:
+            token["anti_low"] = anti_low
+        if self._watchdog.enabled:
+            # watchdog_s=0 disables the liveness layer; skipping the
+            # fold keeps vt_min None so the initiator never samples.
+            for runtime in self._proc.runtimes.values():
+                now = runtime.lp.now
+                if token["vt_min"] is None or now < token["vt_min"]:
+                    token["vt_min"] = now
+                if token["vt_max"] is None or now > token["vt_max"]:
+                    token["vt_max"] = now
         self._send_min = INFINITY
         index = self._index
         for dst, n in self._sent_to.items():
@@ -519,11 +661,27 @@ class ProcsMachine:
         if self.recovery:
             self._take_checkpoint()
 
+    def _refresh_cancel_floor(self) -> None:
+        """Raise (or lower) the horizon to the freshest sound value:
+        the globally committed floor capped by local knowledge.  Blocked
+        conservative LPs are re-armed — a raised floor may be exactly
+        what they were waiting for."""
+        proc = self._proc
+        floor = self._floor_committed
+        local = self._local_anti_low()
+        if local < floor:
+            floor = local
+        if floor != proc.cancel_floor:
+            proc.cancel_floor = floor
+            proc.rearm_blocked()
+
     def _initiate(self) -> None:
         """Initiator: evaluate the completed wave, start the next one."""
         token, self._completed_token = self._completed_token, None
         wave = token["wave"]
         commit: Optional[VirtualTime] = None
+        floor: VirtualTime = INFINITY
+        settled = False
         if wave >= 0:
             self._net.token_waves += 1
             sent, recv = token["sent"], token["recv"]
@@ -534,6 +692,7 @@ class ProcsMachine:
             valid = all(recv.get(channel, 0) >= n
                         for channel, n in self._prev_sent.items())
             candidate = token["low"]
+            settled = self._counts_settled(sent, recv)
             if valid and candidate != INFINITY \
                     and candidate > self._gvt_committed:
                 commit = candidate
@@ -543,12 +702,24 @@ class ProcsMachine:
                         self._crash_schedule[0][0] <= self._commits:
                     _at, victim = self._crash_schedule.pop(0)
                     self._post(victim, ("die", self._index))
-            if not token["busy"] and commit is None \
-                    and self._counts_settled(sent, recv):
+            if not token["busy"] and commit is None and settled:
                 self._broadcast_stop()
                 return
             self._prev_sent = dict(sent)
-        fresh = _fresh_token(wave + 1, commit)
+            # The completed wave's cancellation horizon rides the next
+            # token regardless of commit validity (see _visit for why
+            # it needs no two-cut argument).
+            floor = token["anti_low"]
+            vt_min, vt_max = token["vt_min"], token["vt_max"]
+            if vt_min is not None and vt_max is not None:
+                # Korniss virtual-time surface sample, one per wave.
+                width = int(vt_max[0] - vt_min[0])
+                self._net.vt_spread_samples += 1
+                self._net.vt_spread_width_sum += width
+                if width > self._net.vt_spread_width_max:
+                    self._net.vt_spread_width_max = width
+        fresh = _fresh_token(wave + 1, commit, floor=floor,
+                             settled=settled)
         self._visit(fresh)
         if self._stop_info is not None:  # pragma: no cover - defensive
             return
@@ -626,6 +797,11 @@ class ProcsMachine:
                     runtime = proc.runtimes.get(event.src)
                     if runtime is not None:
                         runtime.lazy_pending.append(event)
+                        # Each injected entry is an outstanding
+                        # cancellation: lower the horizon so no
+                        # conservative LP commits at its timestamp
+                        # before the squash-or-cancel decision lands.
+                        self._note_cancellation(event.time)
         endpoint.rewind_receiver(recv_floors)
         endpoint.stats.recoveries += 1
         # Tell every peer: bump your replica epochs (stale conservative
@@ -658,6 +834,7 @@ class ProcsMachine:
         proc = self._proc
         for runtime in proc.runtimes.values():
             proc._commit_log(runtime)
+        self._net.watchdog_probes += self._watchdog.probes
         stats = RunStats()
         stats.merge(proc.stats)
         if self.endpoint is not None:
@@ -680,10 +857,11 @@ def run_procs(model: Model, processors: int,
               quantum: int = 64,
               timeout_s: float = 120.0,
               fault_plan: Optional[FaultPlan] = None,
-              recovery: Optional[bool] = None) -> ProcsOutcome:
+              recovery: Optional[bool] = None,
+              watchdog_s: Optional[float] = None) -> ProcsOutcome:
     """Convenience wrapper mirroring :func:`run_threaded`."""
     machine = ProcsMachine(model, processors, protocol=protocol,
                            partition=partition, until=until,
                            quantum=quantum, fault_plan=fault_plan,
-                           recovery=recovery)
+                           recovery=recovery, watchdog_s=watchdog_s)
     return machine.run(timeout_s=timeout_s)

@@ -30,9 +30,11 @@ from typing import Callable, List, Optional, Union
 from ..core.event import Event
 from ..core.model import Model
 from ..core.stats import RunStats
-from ..core.vtime import MINUS_INFINITY, VirtualTime
+from ..core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
 from ..fabric.plan import FaultPlan
 from ..fabric.threaded import ThreadedFabric
+from ..resilience import (DEFAULT_WALL_S, WallClockWatchdog, build_report,
+                          resolve_watchdog, surface)
 from .backend import BackendOutcome, proc_has_work, stamp_epoch
 from .cost import SHARED_MEMORY
 from .engine import Processor, ProtocolError
@@ -86,7 +88,8 @@ class ThreadedMachine:
                  until: Optional[int] = None,
                  gvt_interval_s: float = 0.002,
                  fault_plan: Optional[FaultPlan] = None,
-                 recovery: Optional[bool] = None) -> None:
+                 recovery: Optional[bool] = None,
+                 watchdog_s: Optional[float] = None) -> None:
         if protocol == "dynamic":
             raise ValueError(
                 "the threaded backend supports static protocols only; "
@@ -121,9 +124,55 @@ class ThreadedMachine:
         self.workers = [_Worker(proc, self.fabric) for proc in inner.procs]
         if self.fabric is not None:
             self.fabric.bind(self)
+        # Liveness: wall-clock no-progress watchdog probed at global
+        # rounds, plus the shared cancellation-horizon maintenance.
+        # Eager lowering happens from worker threads (any rollback may
+        # mint a cancellation) so it takes a leaf lock; the exact raise
+        # happens only in _global_round with the world stopped.
+        self.watchdog_bound = float(
+            resolve_watchdog(watchdog_s, DEFAULT_WALL_S))
+        self._watchdog = WallClockWatchdog(self.watchdog_bound)
+        self._floor_lock = threading.Lock()
+        self._liveness = RunStats()
         for worker in self.workers:
             proc = worker.processor
             proc.route = self._make_route(proc)
+            proc.cancel_note = self._note_cancellation
+
+    def _note_cancellation(self, time: VirtualTime) -> None:
+        with self._floor_lock:
+            for worker in self.workers:
+                proc = worker.processor
+                if time < proc.cancel_floor:
+                    proc.cancel_floor = time
+
+    def _cancellation_floor(self) -> VirtualTime:
+        """Exact horizon recompute — called at quiescence, world stopped.
+
+        At quiescence the cross-thread network is empty, so outstanding
+        cancellations are withheld lazy entries plus any negatives still
+        sitting in local FIFOs.  Computed *before* the lazy flush: every
+        antimessage the flush then routes originates from a withheld
+        entry this scan already counted, so the value stays a valid
+        (at worst conservative) lower bound until the next round.
+        """
+        low = INFINITY
+        for worker in self.workers:
+            proc = worker.processor
+            for runtime in proc.runtimes.values():
+                for pending in runtime.lazy_pending:
+                    if pending.time < low:
+                        low = pending.time
+            for event in proc.local_fifo:
+                if event.sign < 0 and event.time < low:
+                    low = event.time
+            with worker.inbox_lock:
+                for item in worker.pending:
+                    event = item if isinstance(item, Event) else None
+                    if event is not None and event.sign < 0 \
+                            and event.time < low:
+                        low = event.time
+        return low
 
     def _make_route(self, sender: Processor):
         placement = self._inner.placement
@@ -201,6 +250,8 @@ class ThreadedMachine:
             stats.merge(worker.processor.stats)
         if self.fabric is not None:
             stats.merge(self.fabric.stats)
+        self._liveness.watchdog_probes = self._watchdog.probes
+        stats.merge(self._liveness)
         return stats
 
     def _worker_loop(self, worker: _Worker) -> None:
@@ -237,9 +288,16 @@ class ThreadedMachine:
     def _coordinate(self, deadline: float) -> None:
         while not self._stop.is_set():
             if time.monotonic() > deadline:
-                raise ProtocolError(
+                error = ProtocolError(
                     f"threaded run exceeded its deadline after "
                     f"{self.gvt_rounds} global rounds (gvt {self.gvt})")
+                # Best-effort forensics: workers are still running, but
+                # attribute reads are atomic enough for a diagnosis.
+                error.stall_report = build_report(
+                    "threads", "run deadline exceeded",
+                    (w.processor for w in self.workers), gvt=self.gvt,
+                    bound=self.watchdog_bound)
+                raise error
             time.sleep(self.gvt_interval_s)
             if not self._global_round(deadline):
                 return
@@ -322,6 +380,10 @@ class ThreadedMachine:
                 self.gvt = gvt
             self._inner.gvt = self.gvt
             self._inner._refresh_release_floors()
+            with self._floor_lock:
+                floor = self._cancellation_floor()
+                for worker in self.workers:
+                    worker.processor.cancel_floor = floor
             for worker in self.workers:
                 proc = worker.processor
                 proc.gvt_bound = self.gvt
@@ -333,6 +395,13 @@ class ThreadedMachine:
             if self.fabric is not None and self.fabric.recovery:
                 self.fabric.take_checkpoints(self.workers)
             self.gvt_rounds += 1
+            self._sample_spread()
+            if self._watchdog.tick(self._progress_marker()):
+                self._stall(
+                    f"no GVT advance or commit for "
+                    f"{self._watchdog.idle_s:.1f}s "
+                    f"(bound {self.watchdog_bound:.1f}s) at round "
+                    f"{self.gvt_rounds}")
             work_remains = self._has_work()
         finally:
             # Release: clear the flag *before* the second rendezvous so
@@ -343,6 +412,42 @@ class ThreadedMachine:
             except threading.BrokenBarrierError:
                 pass
         return work_remains
+
+    def _sample_spread(self) -> None:
+        """Korniss surface width, sampled with the world stopped."""
+        if not self._watchdog.enabled:
+            # watchdog_s=0 disables the liveness layer, sampling too.
+            return
+        lo, hi, width = surface(
+            runtime.lp.now
+            for worker in self.workers
+            for runtime in worker.processor.runtimes.values())
+        if lo is None:
+            return
+        self._liveness.vt_spread_samples += 1
+        self._liveness.vt_spread_width_sum += width
+        if width > self._liveness.vt_spread_width_max:
+            self._liveness.vt_spread_width_max = width
+
+    def _progress_marker(self):
+        return (self.gvt,
+                sum(worker.processor.stats.events_committed
+                    for worker in self.workers))
+
+    def _stall(self, reason: str) -> None:
+        """Diagnose an unrecoverable stall (world stopped): raise with
+        forensics; run() attaches the partial stats on the way out."""
+        self._liveness.watchdog_stalls += 1
+        pending = sum(len(worker.pending) for worker in self.workers)
+        in_flight = {"worker_pending": pending}
+        if self.fabric is not None:
+            in_flight["fabric_quiet"] = self.fabric.quiet()
+        error = ProtocolError(f"stall diagnosed: {reason}")
+        error.stall_report = build_report(
+            "threads", reason,
+            (worker.processor for worker in self.workers),
+            gvt=self.gvt, bound=self.watchdog_bound, in_flight=in_flight)
+        raise error
 
     def _has_work(self) -> bool:
         if self.fabric is not None and not self.fabric.quiet():
@@ -360,11 +465,7 @@ class ThreadedMachine:
             proc = worker.processor
             for runtime in proc.runtimes.values():
                 proc._commit_log(runtime)
-        stats = RunStats()
-        for worker in self.workers:
-            stats.merge(worker.processor.stats)
-        if self.fabric is not None:
-            stats.merge(self.fabric.stats)
+        stats = self._partial_stats()
         return ThreadedOutcome(stats=stats, gvt=self.gvt,
                                processors=len(self.workers),
                                gvt_rounds=self.gvt_rounds)
@@ -376,9 +477,11 @@ def run_threaded(model: Model, processors: int,
                  until: Optional[int] = None,
                  timeout_s: float = 120.0,
                  fault_plan: Optional[FaultPlan] = None,
-                 recovery: Optional[bool] = None) -> ThreadedOutcome:
+                 recovery: Optional[bool] = None,
+                 watchdog_s: Optional[float] = None) -> ThreadedOutcome:
     """Convenience wrapper mirroring :func:`run_parallel`."""
     machine = ThreadedMachine(model, processors, protocol=protocol,
                               partition=partition, until=until,
-                              fault_plan=fault_plan, recovery=recovery)
+                              fault_plan=fault_plan, recovery=recovery,
+                              watchdog_s=watchdog_s)
     return machine.run(timeout_s=timeout_s)

@@ -1,0 +1,18 @@
+"""Liveness layer shared by all parallel backends.
+
+Watchdogs detect no-progress windows (:mod:`~repro.resilience.watchdog`);
+a tripped watchdog — or any diagnosed unrecoverable stall — raises
+``ProtocolError`` carrying a :class:`~repro.resilience.report.StallReport`
+with the forensic protocol state (virtual-time surface, parked
+negatives, withheld-lazy counts, in-flight traffic) plus partial stats.
+"""
+
+from .report import StallReport, build_report, surface
+from .watchdog import (DEFAULT_MODEL_STEPS, DEFAULT_WALL_S, StepWatchdog,
+                       WallClockWatchdog, resolve_watchdog)
+
+__all__ = [
+    "StallReport", "build_report", "surface",
+    "StepWatchdog", "WallClockWatchdog", "resolve_watchdog",
+    "DEFAULT_MODEL_STEPS", "DEFAULT_WALL_S",
+]

@@ -1,11 +1,15 @@
 """Lazy cancellation: equivalence and reuse accounting."""
 
+import os
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.circuits import build_iir, build_random
 from repro.parallel import run_parallel
 from repro.vhdl import simulate
+
+ARTIFACTS = os.path.join(os.path.dirname(__file__), "artifacts")
 
 
 def run(seed, processors=4, protocol="optimistic", **kw):
@@ -44,6 +48,52 @@ class TestEquivalence:
         ref = simulate(build_random(seed).design)
         _outcome, traces = run(seed, checkpoint_interval=4)
         assert traces == ref.traces
+
+
+class TestSeed360472Regression:
+    """The orphaned-antimessage deadlock (found by schedule exploration,
+    fixed in PR 6).
+
+    Root cause: the conservative safety rule executed events at a time
+    *equal* to a release-floor bound pinned by that event's own
+    outstanding withheld lazy cancellation, irrevocably committing work
+    the cancellation could still annul — at equal times positives
+    commute but cancellations annihilate, so the run deadlocked with
+    the negative parked forever.  The fix bounds conservative execution
+    strictly below the cancellation horizon (``Processor.cancel_floor``).
+    This must stay a plain deterministic test (no hypothesis): the
+    failure was bit-reproducible at this seed with the canonical
+    schedule, and so is the fix.
+    """
+
+    SEED = 360472
+
+    def test_completes_and_matches_oracle_bit_identical(self):
+        ref = simulate(build_random(self.SEED).design)
+        outcome, traces = run(self.SEED, protocol="dynamic")
+        assert traces == ref.traces
+        # No stall was diagnosed, and the usual accounting holds.
+        assert outcome.stats.watchdog_stalls == 0
+        assert outcome.stats.events_committed == \
+            outcome.stats.events_executed - outcome.stats.events_rolled_back
+
+    def test_replay_artifact_stays_clean(self):
+        # The committed artifact replays the exact failing
+        # configuration (full-size random logic, dynamic protocol,
+        # lazy cancellation, canonical schedule) through the
+        # conformance harness: every invariant — including the
+        # antimessage-accounting one added with the fix — plus the
+        # sequential-oracle diff must pass.
+        from repro.harness.check import replay_schedule
+        from repro.harness.schedule import Schedule
+
+        path = os.path.join(ARTIFACTS, "seed-360472-lazy-dynamic.json")
+        schedule = Schedule.load(path)
+        assert schedule.circuit_seed == self.SEED
+        assert schedule.lazy_cancellation
+        run_report = replay_schedule(schedule)
+        assert run_report.violations == []
+        assert run_report.digest == schedule.wave_digest
 
 
 class TestReuse:

@@ -18,17 +18,22 @@ from repro.core.stats import RunStats
 from repro.core.vtime import VirtualTime, ZERO
 from repro.parallel.cost import DISTRIBUTED, SHARED_MEMORY, CostModel
 
+#: Int counter fields folded with ``max`` by ``merge`` (peaks: the
+#: worker-local high-water marks, not totals).
+_MAX_FOLDED = ("peak_speculative", "vt_spread_width_max")
+
 #: Counter fields folded additively by ``merge`` (everything except the
 #: max-folded peaks/final_time and the per-LP dict).
 _ADDITIVE = [f.name for f in dataclasses.fields(RunStats)
-             if f.type == "int" and f.name != "peak_speculative"]
+             if f.type == "int" and f.name not in _MAX_FOLDED]
 
 
 def _random_stats(rng: random.Random) -> RunStats:
     stats = RunStats()
     for name in _ADDITIVE:
         setattr(stats, name, rng.randrange(0, 50))
-    stats.peak_speculative = rng.randrange(0, 100)
+    for name in _MAX_FOLDED:
+        setattr(stats, name, rng.randrange(0, 100))
     stats.final_time = VirtualTime(rng.randrange(0, 1000),
                                    rng.randrange(0, 5))
     stats.events_per_lp = {lp: rng.randrange(1, 20)
@@ -106,8 +111,9 @@ class TestMergeAlgebra:
         for name in _ADDITIVE:
             assert getattr(merged, name) \
                 == sum(getattr(w, name) for w in workers), name
-        assert merged.peak_speculative \
-            == max(w.peak_speculative for w in workers)
+        for name in _MAX_FOLDED:
+            assert getattr(merged, name) \
+                == max(getattr(w, name) for w in workers), name
         assert merged.final_time == max(w.final_time for w in workers)
         totals = {}
         for worker in workers:
@@ -145,6 +151,26 @@ class TestMergeAlgebra:
         assert "token_waves" in _ADDITIVE
         assert "events_committed" in _ADDITIVE
         assert "peak_speculative" not in _ADDITIVE
+        # Liveness counters (PR 6): spread samples/width-sum and
+        # watchdog probes/stalls are totals; the width peak is a max.
+        assert "vt_spread_samples" in _ADDITIVE
+        assert "vt_spread_width_sum" in _ADDITIVE
+        assert "watchdog_probes" in _ADDITIVE
+        assert "watchdog_stalls" in _ADDITIVE
+        assert "vt_spread_width_max" not in _ADDITIVE
+
+    def test_liveness_summary(self):
+        stats = RunStats(vt_spread_samples=4, vt_spread_width_sum=200,
+                         vt_spread_width_max=90, watchdog_probes=11,
+                         watchdog_stalls=1)
+        text = stats.liveness_summary()
+        assert "spread_samples=4" in text
+        assert "width_mean=50.0fs" in text
+        assert "width_max=90fs" in text
+        assert "probes=11" in text
+        assert "stalls=1" in text
+        # No samples: the mean degrades gracefully, not a ZeroDivision.
+        assert "spread_samples=0" in RunStats().liveness_summary()
 
 
 class TestCostModel:
