@@ -1,0 +1,228 @@
+"""Scenario axes: what the fuzzing campaign can vary, and how it samples.
+
+A :class:`Scenario` is one fully-specified configuration — circuit
+topology, fault plan, backend, protocol, schedule seed, lazy
+cancellation — everything needed to run it and to reproduce it.  It is
+frozen and hashable so the campaign can count *distinct* scenarios by
+value, not by object identity.
+
+:class:`ScenarioSpace` is the seeded sampler.  It guarantees coverage
+first — every enabled ``backend × protocol`` cell is emitted once
+before any weighted sampling — then draws scenarios forever, weighted
+toward the modelled backend (cheap, deterministic, and the only one
+whose interleavings the harness can steer and shrink).  Real backends
+(threads / procs) run fewer, more expensive scenarios where the OS
+picks the interleaving; their value is differential, not exploratory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
+
+from ..circuits.random_logic import sample_topology
+from ..fabric.plan import FaultPlan
+
+#: Which protocols each backend can execute.  The dynamic (adaptive)
+#: configuration exists only on the modelled machine; the real backends
+#: run the static protocols.
+BACKEND_PROTOCOLS: Dict[str, Tuple[str, ...]] = {
+    "model": ("optimistic", "conservative", "mixed", "dynamic"),
+    "threads": ("optimistic", "conservative", "mixed"),
+    "procs": ("optimistic", "conservative", "mixed"),
+}
+
+#: Toggleable scenario axes (beyond the always-on backend × protocol
+#: grid).  ``--axes`` on the CLI enables a subset.
+ALL_AXES: Tuple[str, ...] = ("topology", "faults", "schedules", "lazy")
+
+#: Sampling weight per backend: the modelled machine is ~10x cheaper
+#: per scenario and the only backend with controlled (shrinkable)
+#: schedules, so it gets the bulk of the budget.
+BACKEND_WEIGHTS: Dict[str, float] = {
+    "model": 0.8, "threads": 0.1, "procs": 0.1,
+}
+
+#: Livelock guard for campaign runs.  Deliberately tighter than the
+#: harness default (400k): a fuzzing campaign meets pathological
+#: protocol × fault combinations on purpose, and a livelocked scenario
+#: must fail fast enough that shrinking (dozens of re-runs) stays
+#: inside the budget.  Healthy campaign circuits execute a few
+#: thousand events; 60k is an order of magnitude of headroom.  The
+#: same bound is used for the step watchdog, so marker-frozen spins
+#: (which do not advance the step counter) are cut equally fast.
+CAMPAIGN_MAX_STEPS = 60_000
+
+#: Wall-clock guard for real-backend scenarios (seconds).
+CAMPAIGN_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified fuzzing scenario (hashable by value)."""
+
+    backend: str
+    protocol: str
+    circuit: str = "random"
+    circuit_seed: int = 0
+    #: Topology overrides as sorted ``(axis, value)`` pairs — a dict is
+    #: unhashable; :meth:`params` rebuilds it for the builders.
+    circuit_params: Tuple[Tuple[str, Any], ...] = ()
+    processors: int = 2
+    #: Modelled machine only: lazy cancellation on rollback.
+    lazy_cancellation: bool = False
+    #: Modelled machine only: seed of the controlled random schedule;
+    #: ``None`` runs the canonical (all-defaults) interleaving.
+    schedule_seed: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
+    max_steps: int = CAMPAIGN_MAX_STEPS
+    timeout_s: float = CAMPAIGN_TIMEOUT_S
+
+    def params(self) -> Dict[str, Any]:
+        return dict(self.circuit_params)
+
+    def key(self) -> Tuple:
+        """Identity of the scenario for distinct-coverage counting."""
+        return (self.backend, self.protocol, self.circuit,
+                self.circuit_seed, self.circuit_params, self.processors,
+                self.lazy_cancellation, self.schedule_seed,
+                self.fault_plan)
+
+    def describe(self) -> str:
+        parts = [f"{self.backend}/{self.protocol}",
+                 f"{self.circuit}#{self.circuit_seed}",
+                 f"p={self.processors}"]
+        if self.circuit_params:
+            parts.append("topo=" + ",".join(
+                f"{k}={v}" for k, v in self.circuit_params
+                if k != "delays"))
+        if self.schedule_seed is not None:
+            parts.append(f"sched={self.schedule_seed}")
+        if self.lazy_cancellation:
+            parts.append("lazy")
+        if self.fault_plan is not None:
+            parts.append(f"faults[{self.fault_plan.describe()}]")
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for the corpus index (informational; the replay
+        recipe proper is the Schedule artifact next to it)."""
+        data: Dict[str, Any] = {
+            "backend": self.backend, "protocol": self.protocol,
+            "circuit": self.circuit, "circuit_seed": self.circuit_seed,
+            "processors": self.processors,
+        }
+        if self.circuit_params:
+            data["circuit_params"] = {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in self.circuit_params}
+        if self.lazy_cancellation:
+            data["lazy_cancellation"] = True
+        if self.schedule_seed is not None:
+            data["schedule_seed"] = self.schedule_seed
+        if self.fault_plan is not None:
+            data["fault_plan"] = self.fault_plan.to_dict()
+        return data
+
+
+def _freeze_params(params: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted(
+        (key, tuple(value) if isinstance(value, list) else value)
+        for key, value in params.items()))
+
+
+class ScenarioSpace:
+    """Seeded scenario sampler: coverage cells first, then weighted.
+
+    Deterministic: the same ``seed`` (and axis/backend configuration)
+    yields the same scenario stream, so a campaign is as replayable as
+    any single run.
+    """
+
+    def __init__(self, seed: int = 0,
+                 backends: Optional[Sequence[str]] = None,
+                 axes: Optional[Sequence[str]] = None,
+                 circuit: str = "random",
+                 processors: Sequence[int] = (2, 3)) -> None:
+        self.seed = seed
+        self.backends = tuple(backends) if backends else tuple(
+            BACKEND_PROTOCOLS)
+        for backend in self.backends:
+            if backend not in BACKEND_PROTOCOLS:
+                raise ValueError(f"unknown backend {backend!r}; choose "
+                                 f"from {sorted(BACKEND_PROTOCOLS)}")
+        self.axes = frozenset(axes if axes is not None else ALL_AXES)
+        unknown = self.axes - frozenset(ALL_AXES)
+        if unknown:
+            raise ValueError(f"unknown axes {sorted(unknown)}; choose "
+                             f"from {list(ALL_AXES)}")
+        self.circuit = circuit
+        self.processors = tuple(processors)
+
+    # ------------------------------------------------------------------
+    def _sample_faults(self, rng: random.Random,
+                       processors: int) -> Optional[FaultPlan]:
+        """~40% of scenarios run over a misbehaving fabric."""
+        if rng.random() >= 0.4:
+            return None
+        plan = FaultPlan(
+            seed=rng.randrange(1 << 16),
+            drop=rng.choice((0.0, 0.05, 0.15)),
+            duplicate=rng.choice((0.0, 0.0, 0.05)),
+            reorder=rng.choice((0.0, 0.1, 0.25)),
+            jitter=rng.choice((0.0, 0.0, 2.0)),
+            spike=rng.choice((0.0, 0.0, 0.02)))
+        if not plan.faulty:
+            # All-zero draw: keep the plan anyway as pure-jitter noise
+            # would; a fabric-on-but-quiet run still exercises the
+            # reliable layer's bookkeeping.
+            plan = FaultPlan(seed=plan.seed, jitter=1.0)
+        if rng.random() < 0.15:
+            # Crash-recovery scenarios: one mid-run processor loss.
+            plan = plan.with_crashes(
+                (rng.randrange(5, 40), rng.randrange(processors)))
+        return plan
+
+    def _sample(self, rng: random.Random, backend: str,
+                protocol: str) -> Scenario:
+        params: Dict[str, Any] = {}
+        if "topology" in self.axes:
+            params = sample_topology(rng)
+        schedule_seed = None
+        if backend == "model" and "schedules" in self.axes \
+                and rng.random() < 0.7:
+            schedule_seed = rng.randrange(1 << 20)
+        lazy = False
+        if backend == "model" and "lazy" in self.axes \
+                and protocol != "conservative":
+            lazy = rng.random() < 0.5
+        processors = rng.choice(self.processors)
+        plan = None
+        if "faults" in self.axes:
+            plan = self._sample_faults(rng, processors)
+        return Scenario(
+            backend=backend, protocol=protocol, circuit=self.circuit,
+            circuit_seed=rng.randrange(1 << 20),
+            circuit_params=_freeze_params(params),
+            processors=processors, lazy_cancellation=lazy,
+            schedule_seed=schedule_seed, fault_plan=plan)
+
+    # ------------------------------------------------------------------
+    def cells(self) -> Tuple[Tuple[str, str], ...]:
+        """Every enabled ``(backend, protocol)`` coverage cell."""
+        return tuple((backend, protocol)
+                     for backend in self.backends
+                     for protocol in BACKEND_PROTOCOLS[backend])
+
+    def generate(self) -> Iterator[Scenario]:
+        """Infinite scenario stream: coverage cells first, then
+        weighted random sampling."""
+        rng = random.Random(f"campaign/{self.seed}")
+        for backend, protocol in self.cells():
+            yield self._sample(rng, backend, protocol)
+        weights = [BACKEND_WEIGHTS[b] for b in self.backends]
+        while True:
+            backend = rng.choices(self.backends, weights=weights)[0]
+            protocol = rng.choice(BACKEND_PROTOCOLS[backend])
+            yield self._sample(rng, backend, protocol)

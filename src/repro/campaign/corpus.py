@@ -1,0 +1,106 @@
+"""The on-disk failure corpus: artifacts plus a JSON index.
+
+Layout of a corpus directory::
+
+    corpus/
+      corpus.json                      # the index (below)
+      commit-order-0.json              # Schedule artifacts, one per
+      protocol-error-no-gvt-...-1.json #   deduplicated failure
+
+Each artifact is a plain :class:`repro.harness.schedule.Schedule`
+JSON — exactly the format of the committed regression artifacts under
+``tests/artifacts/`` — so ``repro check --replay`` (and the corpus
+replay test) can re-execute it directly.  The index carries what the
+Schedule format does not: the failure signature, the scenario that
+found it (backend, fault plan, topology), and the shrunk trace
+fingerprint.
+
+The corpus doubles as a regression suite: re-running a campaign with a
+populated corpus reports *new* signatures only, and promoting an
+artifact into ``tests/artifacts/`` (after fixing the bug) turns it
+into a permanent tier-1 replay test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from ..harness.schedule import Schedule
+from .axes import Scenario
+from .triage import FailureSignature
+
+INDEX_NAME = "corpus.json"
+INDEX_VERSION = 1
+
+
+class Corpus:
+    """A directory of deduplicated, replayable failure artifacts."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.entries: List[Dict[str, Any]] = []
+        self._signatures = set()
+        index = os.path.join(root, INDEX_NAME)
+        if os.path.exists(index):
+            with open(index) as handle:
+                data = json.load(handle)
+            version = data.get("version")
+            if version != INDEX_VERSION:
+                raise ValueError(
+                    f"unsupported corpus index version {version!r} "
+                    f"(expected {INDEX_VERSION})")
+            self.entries = list(data.get("entries", []))
+            for entry in self.entries:
+                self._signatures.add(
+                    FailureSignature.from_dict(entry["signature"]))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def seen(self, signature: FailureSignature) -> bool:
+        return signature in self._signatures
+
+    def artifact_paths(self) -> List[str]:
+        return [os.path.join(self.root, entry["artifact"])
+                for entry in self.entries]
+
+    # ------------------------------------------------------------------
+    def record(self, signature: FailureSignature, schedule: Schedule,
+               scenario: Scenario, trace_fingerprint: str = "",
+               shrunk: bool = True,
+               extra: Optional[Dict[str, Any]] = None) -> str:
+        """Persist one new failure; returns the artifact path.
+
+        Recording an already-seen signature is allowed (the caller
+        normally filters with :meth:`seen`) and appends a second
+        artifact rather than overwriting — losing a reproduction is
+        worse than storing a duplicate.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        filename = f"{signature.slug()}-{len(self.entries)}.json"
+        path = os.path.join(self.root, filename)
+        schedule.save(path)
+        entry: Dict[str, Any] = {
+            "signature": signature.to_dict(),
+            "artifact": filename,
+            "scenario": scenario.to_dict(),
+            "violations": list(schedule.violations),
+            "trace_fingerprint": trace_fingerprint,
+            "shrunk": shrunk,
+        }
+        if extra:
+            entry.update(extra)
+        self.entries.append(entry)
+        self._signatures.add(signature)
+        self._flush()
+        return path
+
+    def _flush(self) -> None:
+        index = os.path.join(self.root, INDEX_NAME)
+        with open(index, "w") as handle:
+            json.dump({"version": INDEX_VERSION,
+                       "entries": self.entries}, handle, indent=1)
+            handle.write("\n")

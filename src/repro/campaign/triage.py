@@ -1,0 +1,124 @@
+"""Failure triage: signatures that deduplicate campaign failures.
+
+A fuzzing campaign rediscovers the same bug over and over — the same
+root cause manifesting across many seeds, topologies and schedules.
+Triage collapses those manifestations into one **failure signature**
+so the corpus records each distinct bug once:
+
+* the **primary violation kind** — the highest-priority category
+  (prefix before ``":"``, see
+  :data:`repro.harness.invariants.VIOLATION_KINDS`) among the run's
+  violations.  Safety kinds outrank ``protocol-error``: an ordering
+  bug frequently *also* livelocks the engine (the missequenced commit
+  wedges GVT), and a run that committed out of order and then stalled
+  is the same bug as one that committed out of order and terminated.
+  Ranking the stall first would split one root cause into two
+  signatures;
+* the **stall shape** — backend plus digit-stripped diagnosis reason
+  from the :class:`~repro.resilience.report.StallReport` — but only
+  when the primary kind *is* ``protocol-error``: a pure liveness
+  failure is characterized by how it stalled, a safety failure by what
+  it violated.
+
+The shrunk trace fingerprint deliberately stays **out** of the
+signature: two interleavings of the same bug shrink to different
+traces, and keying on the fingerprint would defeat deduplication.  It
+goes into the artifact metadata instead, where it distinguishes
+reproductions without multiplying signatures.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..harness.invariants import VIOLATION_KINDS
+
+#: Triage priority: safety kinds first, liveness (``protocol-error``)
+#: last.  Everything else keeps the registry's order.
+TRIAGE_PRIORITY: Tuple[str, ...] = tuple(
+    [kind for kind in VIOLATION_KINDS if kind != "protocol-error"]
+    + ["protocol-error"])
+
+_RANK = {kind: rank for rank, kind in enumerate(TRIAGE_PRIORITY)}
+
+_DIGITS = re.compile(r"0x[0-9a-fA-F]+|\d+")
+
+
+def violation_kind(violation: str) -> str:
+    """The registered category prefix of one violation string."""
+    kind = violation.split(":", 1)[0].strip()
+    return kind if kind in _RANK else "protocol-error"
+
+
+def normalize_violation(violation: str) -> str:
+    """Digit-stripped shape of a violation message.
+
+    ``"commit-order: LP 7 committed (3000000, 2) after (4000000, 0)"``
+    and the same violation at LP 12 with other times are the same bug;
+    replacing every number (and hex literal) with ``#`` makes them
+    compare equal.
+    """
+    return _DIGITS.sub("#", violation).strip()
+
+
+def primary_kind(violations: List[str]) -> str:
+    """Highest-priority violation category present in a run."""
+    if not violations:
+        raise ValueError("primary_kind() of a clean run")
+    return min((violation_kind(v) for v in violations),
+               key=lambda kind: _RANK[kind])
+
+
+def stall_shape(stall_report) -> Optional[Tuple[str, str]]:
+    """(backend, digit-stripped reason) of a diagnosed stall."""
+    if stall_report is None:
+        return None
+    return (getattr(stall_report, "backend", "?"),
+            _DIGITS.sub("#", getattr(stall_report, "reason", "")))
+
+
+@dataclass(frozen=True)
+class FailureSignature:
+    """Deduplication key of one distinct campaign failure."""
+
+    kind: str
+    #: Stall forensics shape; populated only for pure liveness
+    #: failures (``kind == "protocol-error"``).
+    stall: Optional[Tuple[str, str]] = None
+
+    def slug(self) -> str:
+        """Filesystem-safe short name for artifact files."""
+        slug = self.kind
+        if self.stall is not None:
+            words = re.sub(r"[^a-z0-9]+", "-",
+                           self.stall[1].lower()).strip("-")
+            slug += "-" + "-".join(words.split("-")[:4])
+        return slug
+
+    def describe(self) -> str:
+        if self.stall is None:
+            return self.kind
+        return f"{self.kind} [{self.stall[0]}: {self.stall[1]}]"
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind}
+        if self.stall is not None:
+            data["stall"] = list(self.stall)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureSignature":
+        stall = data.get("stall")
+        return cls(kind=data["kind"],
+                   stall=tuple(stall) if stall else None)
+
+
+def classify(report) -> FailureSignature:
+    """Signature of a failing :class:`~repro.harness.check.RunReport`."""
+    kind = primary_kind(report.violations)
+    stall = None
+    if kind == "protocol-error":
+        stall = stall_shape(getattr(report, "stall_report", None))
+    return FailureSignature(kind=kind, stall=stall)

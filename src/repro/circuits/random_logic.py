@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.model import SyncMode
 from ..core.vtime import NS
@@ -22,6 +22,40 @@ from ..vhdl.values import SL_0, sl
 from .gates import Netlist, Wire
 
 _GATE_KINDS = ("and", "or", "xor", "nand", "nor", "xnor", "not", "buf")
+
+#: Default gate-delay palette: zero-delay (delta cycles) and timed
+#: propagation mixed, as the original generator always produced.
+DEFAULT_DELAYS: Tuple[int, ...] = (0, 0, 1 * NS, 3 * NS)
+
+#: The parameterized topology space the fuzzing campaign and the
+#: property tests draw from (one space, two samplers — see
+#: ``tests/strategies.py`` and :mod:`repro.campaign.axes`).  Every axis
+#: is a discrete choice tuple so a seeded ``random.Random`` and a
+#: hypothesis ``sampled_from`` explore identical values.
+#:
+#: * ``delays`` is the *lookahead* axis: an all-zero-free palette gives
+#:   conservative LPs real lookahead, a delta-heavy palette starves it;
+#: * ``fanout`` caps how many consumers one wire may feed (``None``
+#:   reproduces the unconstrained historical generator).
+TOPOLOGY_SPACE: Dict[str, Tuple] = {
+    "gates": tuple(range(4, 25)),
+    "registers": (1, 2, 3, 4, 5),
+    "stimulus_bits": (1, 2, 3),
+    "cycles": (2, 3, 4, 5, 6),
+    "fanout": (None, 2, 3, 4),
+    "delays": (
+        DEFAULT_DELAYS,              # mixed (historical default)
+        (0, 0, 0, 1 * NS),           # delta-heavy: little lookahead
+        (1 * NS, 3 * NS, 5 * NS),    # fully timed: generous lookahead
+        (0, 1 * NS),                 # tight alternation
+    ),
+}
+
+
+def sample_topology(rng: random.Random) -> Dict[str, object]:
+    """Draw one random-netlist parameter set from ``TOPOLOGY_SPACE``."""
+    return {axis: rng.choice(choices)
+            for axis, choices in TOPOLOGY_SPACE.items()}
 
 
 @dataclass
@@ -37,13 +71,19 @@ class RandomCircuit:
 
 def build_random(seed: int, gates: int = 24, registers: int = 4,
                  stimulus_bits: int = 3, cycles: int = 8,
-                 period_fs: int = 200 * NS) -> RandomCircuit:
+                 period_fs: int = 200 * NS,
+                 fanout: Optional[int] = None,
+                 delays: Sequence[int] = DEFAULT_DELAYS) -> RandomCircuit:
     """Build a random synchronous circuit from ``seed``.
 
     Combinational logic forms a DAG (no zero-delay loops); feedback goes
-    through registers only.  Gate delays are drawn from {0, 1ns, 3ns} so
-    delta cycles and timed events interleave.
+    through registers only.  Gate delays are drawn from ``delays``
+    (default {0, 1ns, 3ns}) so delta cycles and timed events interleave.
+    ``fanout`` caps how many consumers one wire may feed; the defaults
+    reproduce the historical generator bit-for-bit (same RNG stream),
+    which committed replay artifacts depend on.
     """
+    delays = tuple(delays)
     rng = random.Random(seed)
     design = Design(f"rand{seed}")
     clk = design.signal("clk", SL_0)
@@ -74,19 +114,32 @@ def build_random(seed: int, gates: int = 24, registers: int = 4,
                 for i in range(registers)]
     pool: List[Wire] = list(stim_bus) + list(reg_outs)
 
+    uses: Dict[int, int] = {}
+
+    def pick_input() -> Wire:
+        # fanout=None keeps the historical single-draw stream exactly.
+        if fanout is None:
+            wire = rng.choice(pool)
+        else:
+            open_pool = [w for w in pool
+                         if uses.get(w.lp_id, 0) < fanout]
+            wire = rng.choice(open_pool or pool)
+        uses[wire.lp_id] = uses.get(wire.lp_id, 0) + 1
+        return wire
+
     traced: List[str] = []
     for g in range(gates):
         kind = rng.choice(_GATE_KINDS)
         arity = 1 if kind in ("not", "buf") else 2
-        inputs = [rng.choice(pool) for _ in range(arity)]
-        delay = rng.choice((0, 0, 1 * NS, 3 * NS))
+        inputs = [pick_input() for _ in range(arity)]
+        delay = rng.choice(delays)
         out = net.wire(f"g{g}.y", traced=True)
         traced.append(out.name)
         net.gate(kind, inputs, out, name=f"g{g}", delay_fs=delay)
         pool.append(out)
 
     for i, q in enumerate(reg_outs):
-        d = rng.choice(pool)
+        d = pick_input()
         net.dff(clk, d, q, name=f"r{i}")
         traced.append(q.name)
     # Mark register outputs traced post-hoc (they were created early).

@@ -33,6 +33,15 @@ from .parallel.engine import ProtocolError
 from .vhdl import simulate, simulate_parallel
 from .vhdl.frontend import elaborate
 
+#: Built-in circuit choices, shared by every subcommand that accepts
+#: one (check / fuzz, and run / parallel as a file-less alternative) —
+#: mirrors :data:`repro.harness.check.CIRCUITS`.
+CIRCUIT_CHOICES = ("fsm", "random", "random-full")
+
+#: Scenario axes of the fuzzing campaign (mirrors
+#: :data:`repro.campaign.axes.ALL_AXES`).
+AXIS_CHOICES = ("topology", "faults", "schedules", "lazy")
+
 
 def _parse_until(text: Optional[str]) -> Optional[int]:
     """'500ns' / '1 us' / '1000' (fs) -> femtoseconds."""
@@ -51,6 +60,53 @@ def _load_design(args):
         source = handle.read()
     traced = True if not args.trace else tuple(args.trace)
     return elaborate(source, top=args.top, traced=traced)
+
+
+def _parse_circuit_params(items: Optional[List[str]]):
+    """``["gates=12", "delays=0,0,1000000"]`` -> builder kwargs.
+
+    Comma-separated values become tuples of ints (the ``delays``
+    palette); single values parse as int when possible.
+    """
+    params = {}
+    for item in items or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"repro: --circuit-param {item!r} is not KEY=VALUE")
+        key, value = key.strip(), value.strip()
+        if "," in value:
+            params[key] = tuple(int(v) for v in value.split(","))
+        else:
+            try:
+                params[key] = int(value)
+            except ValueError:
+                raise SystemExit(
+                    f"repro: --circuit-param {key} needs an int or "
+                    f"comma-separated ints, got {value!r}")
+    return params
+
+
+def _resolve_design(args):
+    """A Design from either a VHDL file or a built-in circuit.
+
+    ``run``/``parallel`` historically required a VHDL source file while
+    ``check`` only knew the built-in circuits; both now accept both
+    spellings, so any configuration the conformance harness or the
+    fuzzing campaign flags can be re-run directly.
+    """
+    from .harness.check import build_circuit
+
+    if args.circuit is not None and args.file is not None:
+        raise SystemExit("repro: give a VHDL file or --circuit, not both")
+    if args.circuit is not None:
+        return build_circuit(args.circuit, args.circuit_seed,
+                             _parse_circuit_params(args.circuit_param))
+    if args.file is None:
+        raise SystemExit("repro: need a VHDL file or --circuit NAME")
+    if args.top is None:
+        raise SystemExit("repro: --top is required with a VHDL file")
+    return _load_design(args)
 
 
 def _add_design_args(parser: argparse.ArgumentParser) -> None:
@@ -90,7 +146,7 @@ def cmd_simulate(args) -> int:
 def cmd_parallel(args) -> int:
     from .fabric import parse_fault_plan
 
-    design = _load_design(args)
+    design = _resolve_design(args)
     plan = None
     if args.fault_plan or args.crash:
         plan = parse_fault_plan(args.fault_plan or "")
@@ -162,13 +218,16 @@ def cmd_check(args) -> int:
     from .harness import (Checker, Schedule, check_backend,
                           check_circuits, replay_schedule)
 
+    circuit_params = _parse_circuit_params(args.circuit_param)
+
     if args.backend != "model":
         failed = False
         for circuit in args.circuit:
             run = check_backend(circuit, backend=args.backend,
                                 protocol=args.protocol,
                                 processors=args.processors,
-                                circuit_seed=args.circuit_seed)
+                                circuit_seed=args.circuit_seed,
+                                circuit_params=circuit_params)
             status = "CLEAN" if run.ok else "FAILED"
             print(f"{circuit} [{run.label}]: {status}")
             for violation in run.violations:
@@ -199,7 +258,8 @@ def cmd_check(args) -> int:
                           processors=args.processors,
                           protocol=args.protocol,
                           lazy_cancellation=args.lazy_cancellation,
-                          watchdog=watchdog)
+                          watchdog=watchdog,
+                          circuit_params=circuit_params)
         schedule, run = checker.record()
         schedule.save(args.record)
         print(f"recorded {schedule.circuit} schedule "
@@ -216,7 +276,8 @@ def cmd_check(args) -> int:
                              protocol=args.protocol,
                              artifact_dir=args.artifact_dir,
                              lazy_cancellation=args.lazy_cancellation,
-                             watchdog=watchdog)
+                             watchdog=watchdog,
+                             circuit_params=circuit_params)
     failed = False
     for report in reports:
         print(report.summary())
@@ -227,6 +288,38 @@ def cmd_check(args) -> int:
         for path in report.artifacts:
             print(f"  artifact: {path}")
     return 1 if failed else 0
+
+
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing campaign over the scenario axes.
+
+    Exit status: 0 = every scenario clean; 1 = at least one failure
+    (new signatures are shrunk and persisted when ``--corpus`` is set).
+    """
+    from .campaign import Campaign, Corpus, ScenarioSpace
+
+    space = ScenarioSpace(seed=args.seed, backends=args.backend,
+                          axes=args.axes, circuit=args.circuit,
+                          processors=tuple(args.processors))
+    corpus = Corpus(args.corpus) if args.corpus else None
+    if corpus is not None and len(corpus):
+        print(f"corpus {args.corpus}: {len(corpus)} known failure(s)")
+
+    def progress(outcome, summary) -> None:
+        if not args.verbose:
+            return
+        status = "ok" if outcome.ok else "FAIL"
+        print(f"  [{summary.scenarios:4d}] {status:4s} "
+              f"{outcome.duration_s:6.2f}s "
+              f"{outcome.scenario.describe()}")
+
+    campaign = Campaign(space, budget_s=args.budget,
+                        max_scenarios=args.max_scenarios,
+                        corpus=corpus, until=_parse_until(args.until),
+                        on_scenario=progress)
+    summary = campaign.run()
+    print(summary.describe())
+    return 0 if summary.ok else 1
 
 
 def cmd_report(args) -> int:
@@ -276,7 +369,28 @@ def build_parser() -> argparse.ArgumentParser:
             help=("run a parallel backend"
                   if alias == "run"
                   else "run the modelled parallel machine"))
-        _add_design_args(p_par)
+        p_par.add_argument("file", nargs="?", default=None,
+                           help="VHDL source file (or use --circuit)")
+        p_par.add_argument("--top", default=None,
+                           help="top entity to elaborate (VHDL file)")
+        p_par.add_argument("--until", default=None,
+                           help="simulation horizon, e.g. '500ns'")
+        p_par.add_argument("--trace", nargs="*", default=None,
+                           help="signals to trace (default: all)")
+        p_par.add_argument("--vcd", default=None,
+                           help="write waveforms to this VCD file")
+        p_par.add_argument("--waves", action="store_true",
+                           help="print an ASCII timing diagram")
+        p_par.add_argument("--circuit", default=None,
+                           choices=list(CIRCUIT_CHOICES),
+                           help="run a built-in circuit instead of a "
+                                "VHDL file (same choices as check/fuzz)")
+        p_par.add_argument("--circuit-seed", type=int, default=0,
+                           help="seed for the built-in circuit builder")
+        p_par.add_argument("--circuit-param", action="append",
+                           default=None, metavar="KEY=VALUE",
+                           help="builder override, e.g. gates=12 or "
+                                "delays=0,0,1000000 (repeatable)")
         p_par.add_argument("-p", "--processors", type=int, default=4)
         p_par.add_argument("--protocol", default="dynamic",
                            choices=["optimistic", "conservative", "mixed",
@@ -324,7 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="conformance-check the protocol over explored schedules")
     p_chk.add_argument("--circuit", nargs="+",
                        default=["fsm", "random"],
-                       choices=["fsm", "random", "random-full"],
+                       choices=list(CIRCUIT_CHOICES),
                        help="built-in circuits to explore")
     p_chk.add_argument("--schedules", type=int, default=25,
                        help="distinct interleavings to explore per "
@@ -354,12 +468,51 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="STEPS",
                        help="step watchdog bound for explored runs "
                             "(default: on, generous; 0 disables)")
+    p_chk.add_argument("--circuit-param", action="append",
+                       default=None, metavar="KEY=VALUE",
+                       help="circuit-builder override, e.g. gates=12 "
+                            "or delays=0,0,1000000 (repeatable; same "
+                            "axes the fuzz campaign explores)")
     p_chk.add_argument("--record", default=None, metavar="PATH",
                        help="record the canonical schedule of the first "
                             "--circuit to PATH and exit")
     p_chk.add_argument("--replay", default=None, metavar="PATH",
                        help="replay a schedule artifact and re-verify it")
     p_chk.set_defaults(handler=cmd_check)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="run a differential fuzzing campaign over scenario axes")
+    p_fuzz.add_argument("--budget", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="wall-clock campaign budget")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (same seed = same scenario "
+                             "stream)")
+    p_fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                        help="failure corpus directory: new signatures "
+                             "are shrunk and saved here; known ones "
+                             "only counted")
+    p_fuzz.add_argument("--backend", nargs="+", default=None,
+                        choices=["model", "threads", "procs"],
+                        help="restrict the backend axis (default: all)")
+    p_fuzz.add_argument("--axes", nargs="+", default=None,
+                        choices=list(AXIS_CHOICES),
+                        help="scenario axes to vary (default: all)")
+    p_fuzz.add_argument("--circuit", default="random",
+                        choices=list(CIRCUIT_CHOICES),
+                        help="circuit family to fuzz")
+    p_fuzz.add_argument("--max-scenarios", type=int, default=None,
+                        help="stop after this many scenarios even "
+                             "with budget left")
+    p_fuzz.add_argument("-p", "--processors", type=int, nargs="+",
+                        default=[2, 3],
+                        help="processor counts to sample from")
+    p_fuzz.add_argument("--until", default=None,
+                        help="simulation horizon per scenario")
+    p_fuzz.add_argument("-v", "--verbose", action="store_true",
+                        help="print one line per scenario")
+    p_fuzz.set_defaults(handler=cmd_fuzz)
 
     p_rep = sub.add_parser("report", help="print the LP graph inventory")
     p_rep.add_argument("file")

@@ -20,7 +20,8 @@ Public surface:
   processor images used by crash-recovery.
 """
 
-from .plan import FaultPlan, LinkFaults, parse_fault_plan
+from .plan import (FaultPlan, LinkFaults, parse_fault_plan,
+                   plan_from_dict)
 from .recovery import (ProcessorCheckpoint, RuntimeCheckpoint,
                        checkpoint_processor, restore_processor)
 from .transport import (Packet, PerfectFabric, ReliableFabric,
@@ -30,6 +31,7 @@ __all__ = [
     "FaultPlan",
     "LinkFaults",
     "parse_fault_plan",
+    "plan_from_dict",
     "Packet",
     "PerfectFabric",
     "ReliableFabric",

@@ -86,6 +86,22 @@ class FaultPlan:
     def with_crashes(self, *crashes: Tuple[int, int]) -> "FaultPlan":
         return replace(self, crashes=self.crashes + tuple(crashes))
 
+    # -- JSON round-trip (replay artifacts, fuzz corpus) ---------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form: only non-default fields, crashes as
+        lists.  ``plan_from_dict(plan.to_dict()) == plan``."""
+        default = FaultPlan()
+        data: Dict[str, object] = {}
+        for name in ("seed", "drop", "duplicate", "reorder",
+                     "reorder_magnitude", "jitter", "spike",
+                     "spike_magnitude", "max_drops_per_message"):
+            value = getattr(self, name)
+            if value != getattr(default, name):
+                data[name] = value
+        if self.crashes:
+            data["crashes"] = [list(c) for c in self.crashes]
+        return data
+
     def describe(self) -> str:
         parts: List[str] = [f"seed={self.seed}"]
         for name in ("drop", "duplicate", "reorder", "jitter", "spike"):
@@ -144,6 +160,16 @@ class LinkFaults:
     def forget(self, seq: int) -> None:
         """Drop the bookkeeping for a delivered message."""
         self._drops.pop(seq, None)
+
+
+def plan_from_dict(data: Dict[str, object]) -> FaultPlan:
+    """Rebuild a :class:`FaultPlan` from :meth:`FaultPlan.to_dict`."""
+    kwargs = dict(data)
+    crashes = kwargs.pop("crashes", None)
+    plan = FaultPlan(**kwargs)  # type: ignore[arg-type]
+    if crashes:
+        plan = plan.with_crashes(*(tuple(c) for c in crashes))
+    return plan
 
 
 _ALIASES = {

@@ -17,16 +17,19 @@ execute.  This subsystem makes the claim *checkable*:
 """
 
 from .check import (CIRCUITS, Checker, CheckReport, RunReport,
-                    check_backend, check_circuits, replay_schedule,
-                    wave_digest)
-from .invariants import check_all
+                    build_circuit, check_backend, check_circuits,
+                    replay_schedule, wave_digest)
+from .invariants import VIOLATION_KINDS, check_all
 from .schedule import (DefaultScheduler, RandomScheduler, ReplayScheduler,
-                       Schedule, Scheduler, swap_schedule)
+                       Schedule, Scheduler, normalize_params,
+                       swap_schedule)
 from .trace import TraceRecord, Tracer
 
 __all__ = [
-    "CIRCUITS", "Checker", "CheckReport", "RunReport", "check_backend",
-    "check_circuits", "replay_schedule", "wave_digest", "check_all",
+    "CIRCUITS", "Checker", "CheckReport", "RunReport", "build_circuit",
+    "check_backend", "check_circuits", "replay_schedule", "wave_digest",
+    "VIOLATION_KINDS", "check_all",
     "DefaultScheduler", "RandomScheduler", "ReplayScheduler", "Schedule",
-    "Scheduler", "swap_schedule", "TraceRecord", "Tracer",
+    "Scheduler", "normalize_params", "swap_schedule",
+    "TraceRecord", "Tracer",
 ]

@@ -29,24 +29,44 @@ from ..circuits.fsm import build_fsm
 from ..circuits.random_logic import build_random
 from ..parallel.engine import ProtocolError
 from ..vhdl.kernel import SimulationResult, simulate, simulate_parallel
-from .invariants import check_all
+from .invariants import (check_all, check_commit_after_gvt,
+                         check_commit_monotonic_per_lp,
+                         check_gvt_monotonic, check_phase_legality)
 from .schedule import (DefaultScheduler, RandomScheduler, ReplayScheduler,
                        Schedule, Scheduler, swap_schedule)
 from .trace import Tracer
 
-#: Known circuits: name -> builder(seed) returning a fresh Design.
-#: Small on purpose — a check runs the circuit dozens of times.
-CIRCUITS: Dict[str, Callable[[int], object]] = {
-    "fsm": lambda seed: build_fsm(cells=4, cycles=4).design,
-    "random": lambda seed: build_random(seed, gates=10, registers=3,
-                                        stimulus_bits=2, cycles=3).design,
+#: Known circuits: name -> builder(seed, **params) returning a fresh
+#: Design.  Small on purpose — a check runs the circuit dozens of
+#: times.  ``params`` are builder-specific overrides: the fuzzing
+#: campaign varies the random-netlist topology axes (gates, registers,
+#: stimulus_bits, cycles, fanout, delays — see
+#: ``repro.circuits.random_logic.TOPOLOGY_SPACE``) and the fsm size
+#: (cells, cycles); an empty params dict reproduces each builder's
+#: historical defaults exactly.
+CIRCUITS: Dict[str, Callable[..., object]] = {
+    "fsm": lambda seed, **p: build_fsm(
+        cells=p.get("cells", 4), cycles=p.get("cycles", 4)).design,
+    "random": lambda seed, **p: build_random(
+        seed, **{**dict(gates=10, registers=3, stimulus_bits=2,
+                        cycles=3), **p}).design,
     # Full-size random logic (the generator's defaults): the circuit
     # class in which schedule exploration found the orphaned-
     # antimessage deadlock (seed 360472, dynamic protocol with lazy
     # cancellation — see tests/artifacts/).  Expensive; meant for
     # targeted checks and replay artifacts rather than exploration.
-    "random-full": lambda seed: build_random(seed).design,
+    "random-full": lambda seed, **p: build_random(seed, **p).design,
 }
+
+
+def build_circuit(circuit: str, seed: int,
+                  params: Optional[Dict] = None):
+    """Build a fresh Design for a registered circuit (shared by the
+    CLI, the conformance checker and the fuzzing campaign)."""
+    if circuit not in CIRCUITS:
+        raise ValueError(f"unknown circuit {circuit!r}; choose from "
+                         f"{sorted(CIRCUITS)}")
+    return CIRCUITS[circuit](seed, **(params or {}))
 
 #: Livelock guard for controlled runs (a pathological schedule must
 #: fail loudly, not hang the exploration).
@@ -73,6 +93,16 @@ class RunReport:
     ncands: List[int]
     violations: List[str]
     digest: Optional[str] = None
+    #: Forensics of a diagnosed stall (repro.resilience.StallReport),
+    #: when the run failed with one — triage folds its shape into the
+    #: failure signature.
+    stall_report: Optional[object] = None
+    #: Content hash of the recorded protocol trace (empty when the run
+    #: was not traced); see :meth:`repro.harness.trace.Tracer.fingerprint`.
+    trace_fingerprint: str = ""
+    #: The run's statistics (None when the engine raised without
+    #: partial stats) — the campaign folds these with RunStats.merge.
+    stats: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -119,12 +149,16 @@ class Checker:
                  artifact_dir: Optional[str] = None,
                  lazy_cancellation: bool = False,
                  max_steps: int = MAX_STEPS,
-                 watchdog: Optional[int] = None) -> None:
+                 watchdog: Optional[int] = None,
+                 circuit_params: Optional[Dict] = None,
+                 fault_plan=None) -> None:
         if circuit not in CIRCUITS:
             raise ValueError(f"unknown circuit {circuit!r}; choose from "
                              f"{sorted(CIRCUITS)}")
         self.circuit = circuit
         self.circuit_seed = circuit_seed
+        self.circuit_params = dict(circuit_params or {})
+        self.fault_plan = fault_plan
         self.processors = processors
         self.protocol = protocol
         self.until = until
@@ -139,7 +173,8 @@ class Checker:
     # Primitive runs
     # ------------------------------------------------------------------
     def _design(self):
-        return CIRCUITS[self.circuit](self.circuit_seed)
+        return CIRCUITS[self.circuit](self.circuit_seed,
+                                      **self.circuit_params)
 
     def oracle(self) -> SimulationResult:
         if self._oracle is None:
@@ -152,6 +187,7 @@ class Checker:
         """One controlled parallel run, fully checked."""
         tracer = Tracer()
         violations: List[str] = []
+        stall_report = None
         result: Optional[SimulationResult] = None
         try:
             result = simulate_parallel(
@@ -159,11 +195,26 @@ class Checker:
                 protocol=self.protocol, tracer=tracer,
                 scheduler=scheduler, max_steps=self.max_steps,
                 lazy_cancellation=self.lazy_cancellation,
-                watchdog=self.watchdog)
+                watchdog=self.watchdog, fault_plan=self.fault_plan)
         except ProtocolError as failure:
             violations.append(f"protocol-error: {failure}")
+            stall_report = getattr(failure, "stall_report", None)
+            stats = getattr(failure, "partial_stats", None)
+            # The trace up to the failure still obeys the prefix-closed
+            # safety laws — scan it so a run that e.g. committed out of
+            # order *and then* stalled is triaged by the ordering bug,
+            # not by its secondary liveness symptom.  (The stats-balance
+            # and termination-scoped invariants assume a completed run
+            # and are skipped here.)
+            violations.extend(check_gvt_monotonic(tracer))
+            violations.extend(check_commit_after_gvt(tracer))
+            violations.extend(check_commit_monotonic_per_lp(tracer))
+            violations.extend(check_phase_legality(tracer))
+        else:
+            stats = None
         digest = None
         if result is not None:
+            stats = result.stats
             violations.extend(check_all(tracer, result.stats))
             report = diff_results(self.oracle(), result)
             if not report.identical:
@@ -179,7 +230,10 @@ class Checker:
         return RunReport(label=label, signature=scheduler.signature,
                          decisions=scheduler.decisions,
                          ncands=scheduler.ncands,
-                         violations=violations, digest=digest)
+                         violations=violations, digest=digest,
+                         stall_report=stall_report,
+                         trace_fingerprint=tracer.fingerprint(),
+                         stats=stats)
 
     # ------------------------------------------------------------------
     # Exploration
@@ -312,7 +366,10 @@ class Checker:
             decisions=decisions, label=run.label,
             wave_digest=self.oracle_digest,
             violations=run.violations,
-            lazy_cancellation=self.lazy_cancellation)
+            lazy_cancellation=self.lazy_cancellation,
+            circuit_params=self.circuit_params,
+            fault_plan=(self.fault_plan.to_dict()
+                        if self.fault_plan is not None else None))
         index = len(report.artifacts)
         path = os.path.join(self.artifact_dir,
                             f"fail-{self.circuit}-{index}.json")
@@ -331,18 +388,26 @@ class Checker:
             decisions=run.decisions, ncands=run.ncands,
             label="recorded", wave_digest=run.digest,
             violations=run.violations,
-            lazy_cancellation=self.lazy_cancellation)
+            lazy_cancellation=self.lazy_cancellation,
+            circuit_params=self.circuit_params,
+            fault_plan=(self.fault_plan.to_dict()
+                        if self.fault_plan is not None else None))
         return schedule, run
 
 
 def replay_schedule(schedule: Schedule,
                     until: Optional[int] = None) -> RunReport:
     """Re-execute a schedule artifact and verify it reproduces itself."""
+    from ..fabric.plan import plan_from_dict
+
     checker = Checker(schedule.circuit,
                       circuit_seed=schedule.circuit_seed,
                       processors=schedule.processors,
                       protocol=schedule.protocol, until=until,
-                      lazy_cancellation=schedule.lazy_cancellation)
+                      lazy_cancellation=schedule.lazy_cancellation,
+                      circuit_params=schedule.circuit_params,
+                      fault_plan=(plan_from_dict(schedule.fault_plan)
+                                  if schedule.fault_plan else None))
     run = checker.run_schedule(schedule.replayer(), "replay")
     if schedule.wave_digest and run.digest \
             and run.digest != schedule.wave_digest:
@@ -357,7 +422,8 @@ def check_circuits(circuits: List[str], schedules: int = 25,
                    processors: int = 2, protocol: str = "dynamic",
                    artifact_dir: Optional[str] = None,
                    lazy_cancellation: bool = False,
-                   watchdog: Optional[int] = None
+                   watchdog: Optional[int] = None,
+                   circuit_params: Optional[Dict] = None
                    ) -> List[CheckReport]:
     """Explore every named circuit; the CLI entry point's core."""
     reports = []
@@ -366,7 +432,8 @@ def check_circuits(circuits: List[str], schedules: int = 25,
                           processors=processors, protocol=protocol,
                           artifact_dir=artifact_dir,
                           lazy_cancellation=lazy_cancellation,
-                          watchdog=watchdog)
+                          watchdog=watchdog,
+                          circuit_params=circuit_params)
         reports.append(checker.explore(schedules=schedules, seed=seed))
     return reports
 
@@ -374,6 +441,7 @@ def check_circuits(circuits: List[str], schedules: int = 25,
 def check_backend(circuit: str, backend: str, protocol: str,
                   processors: int = 2, circuit_seed: int = 0,
                   until: Optional[int] = None,
+                  circuit_params: Optional[Dict] = None,
                   **backend_kwargs) -> RunReport:
     """Differential oracle for the *real* backends (threads / procs).
 
@@ -391,21 +459,23 @@ def check_backend(circuit: str, backend: str, protocol: str,
     success; ``decisions``/``ncands`` are empty (no controlled
     schedule exists for a real run).
     """
-    if circuit not in CIRCUITS:
-        raise ValueError(f"unknown circuit {circuit!r}; choose from "
-                         f"{sorted(CIRCUITS)}")
-    oracle = simulate(CIRCUITS[circuit](circuit_seed), until=until)
+    oracle = simulate(build_circuit(circuit, circuit_seed,
+                                    circuit_params), until=until)
     oracle_digest = wave_digest(oracle)
     label = f"{backend}/{protocol}"
     violations: List[str] = []
+    stall_report = None
     result: Optional[SimulationResult] = None
     try:
         result = simulate_parallel(
-            CIRCUITS[circuit](circuit_seed), processors, until=until,
+            build_circuit(circuit, circuit_seed, circuit_params),
+            processors, until=until,
             protocol=protocol, backend=backend, **backend_kwargs)
     except ProtocolError as failure:
         violations.append(f"protocol-error: {failure}")
+        stall_report = getattr(failure, "stall_report", None)
     digest = None
+    stats = result.stats if result is not None else None
     if result is not None:
         report = diff_results(oracle, result)
         if not report.identical:
@@ -422,4 +492,5 @@ def check_backend(circuit: str, backend: str, protocol: str,
                 f"commit-count: {result.stats.events_committed} vs "
                 f"oracle {oracle.stats.events_committed}")
     return RunReport(label=label, signature=(), decisions=[],
-                     ncands=[], violations=violations, digest=digest)
+                     ncands=[], violations=violations, digest=digest,
+                     stall_report=stall_report, stats=stats)

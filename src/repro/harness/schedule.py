@@ -161,6 +161,19 @@ def swap_schedule(point: int, alternative: int) -> List[int]:
 ARTIFACT_VERSION = 1
 
 
+def normalize_params(params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Canonicalize circuit-builder params after a JSON round-trip.
+
+    JSON has no tuples, so sequence-valued axes (e.g. the ``delays``
+    palette) come back as lists; the builders and scenario keys want
+    hashable tuples.
+    """
+    if not params:
+        return {}
+    return {key: tuple(value) if isinstance(value, list) else value
+            for key, value in params.items()}
+
+
 @dataclass
 class Schedule:
     """A replayable schedule artifact.
@@ -185,10 +198,20 @@ class Schedule:
     #: artifacts recorded before PR 6 default to False, so the format
     #: version is unchanged.
     lazy_cancellation: bool = False
+    #: Circuit-builder parameter overrides (the fuzzing campaign's
+    #: topology axes: gates / registers / fanout / delays / ...).
+    #: Optional in the JSON — empty means the builder's defaults, so
+    #: pre-campaign artifacts keep loading and the format version is
+    #: unchanged.
+    circuit_params: Dict[str, Any] = field(default_factory=dict)
+    #: Fault-injection plan of the run in JSON dict form (see
+    #: :meth:`repro.fabric.plan.FaultPlan.to_dict`); ``None`` means a
+    #: fault-free run.  Optional in the JSON, like ``circuit_params``.
+    fault_plan: Optional[Dict[str, Any]] = None
 
     # -- (de)serialization --------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "version": ARTIFACT_VERSION,
             "circuit": self.circuit,
             "circuit_seed": self.circuit_seed,
@@ -201,6 +224,13 @@ class Schedule:
             "violations": self.violations,
             "lazy_cancellation": self.lazy_cancellation,
         }
+        if self.circuit_params:
+            data["circuit_params"] = {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in self.circuit_params.items()}
+        if self.fault_plan:
+            data["fault_plan"] = self.fault_plan
+        return data
 
     def save(self, path: str) -> None:
         with open(path, "w") as handle:
@@ -227,6 +257,9 @@ class Schedule:
             wave_digest=data.get("wave_digest"),
             violations=list(data.get("violations", [])),
             lazy_cancellation=bool(data.get("lazy_cancellation", False)),
+            circuit_params=normalize_params(
+                data.get("circuit_params", {})),
+            fault_plan=data.get("fault_plan"),
         )
 
     def replayer(self) -> ReplayScheduler:

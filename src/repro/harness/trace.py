@@ -104,6 +104,24 @@ class Tracer:
         parts = [f"{k}={v}" for k, v in sorted(counts.items())]
         return " ".join(parts) if parts else "empty trace"
 
+    def fingerprint(self) -> str:
+        """Content hash of the trace's protocol-relevant shape.
+
+        Hashes the full ``(action, proc, lp, time)`` sequence — enough
+        to distinguish any two interleavings the invariants could tell
+        apart, while staying independent of ``info`` payload details
+        (which carry engine-internal counters).  Failure triage
+        (:mod:`repro.campaign.triage`) folds this into artifact names so
+        distinct shrunk reproductions never collide on disk.
+        """
+        import hashlib
+        digest = hashlib.sha256()
+        for r in self.records:
+            digest.update(
+                f"{r.action}|{r.proc}|{r.lp}|{time_tuple(r.time)};"
+                .encode())
+        return digest.hexdigest()
+
 
 def time_tuple(time: Any) -> Optional[Tuple[int, int]]:
     """Normalize a VirtualTime-like value to a plain (pt, lt) tuple."""

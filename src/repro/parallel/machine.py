@@ -143,6 +143,16 @@ class ParallelMachine:
             resolve_watchdog(watchdog, DEFAULT_MODEL_STEPS))
         self._watchdog = StepWatchdog(self.watchdog_bound)
         self._steps = 0
+        #: Monotone main-loop iteration counter — the watchdog's
+        #: *position*.  Ticking on ``_steps`` (productive executions
+        #: only) starves the watchdog exactly when it is needed most:
+        #: a machine spinning through barrier GVT rounds or idle act()
+        #: iterations freezes ``_steps``, so a step-denominated probe
+        #: can never observe enough elapsed distance to trip.  Work
+        #: units advance on every iteration, productive or not.
+        self._work = 0
+        #: Progress marker of the previous barrier GVT round — see run().
+        self._barrier_marker: Optional[Tuple] = None
         #: Machine-level liveness counters (vt-surface spread samples,
         #: watchdog probes) merged into the outcome stats at _finish.
         self._liveness = RunStats()
@@ -307,7 +317,7 @@ class ParallelMachine:
         self._sample_spread()
         self._since_gvt = 0
         self._blocked_at_gvt = self._blocked_polls()
-        if self._watchdog.tick(self._progress_marker(), self._steps):
+        if self._watchdog.tick(self._progress_marker(), self._work):
             self._stall("no GVT advance or commit in "
                         f"{self._watchdog.idle} steps "
                         f"(bound {self.watchdog_bound})")
@@ -557,6 +567,7 @@ class ParallelMachine:
         self.fabric.on_run_start(self)
         crashes = list(self._crash_schedule)
         while True:
+            self._work += 1
             if max_steps is not None and steps >= max_steps:
                 self._stall(f"machine exceeded {max_steps} steps "
                             f"(livelock?)")
@@ -571,7 +582,22 @@ class ParallelMachine:
                 self._gvt_round(barrier=True)
                 for p in self.procs:
                     p.stats.deadlock_recoveries += 1
-                if self._next_processor() is None:
+                # The round's rearm_blocked often makes blocked
+                # conservative runtimes *look* ready again, so checking
+                # _next_processor() alone never reaches the recovery
+                # ladder below: the machine spins barrier-round <->
+                # failed-poll forever (mixed protocol with lazy
+                # cancellation pinning the safe bound — found by
+                # repro.campaign).  A barrier interval that executed no
+                # event with GVT frozen proves the readiness is a
+                # mirage: every rearmed runtime was re-polled and
+                # blocked again before _next_processor() could return
+                # None, so the ladder must engage regardless.
+                marker = (self.gvt, sum(p.stats.events_executed
+                                        for p in self.procs))
+                stuck = marker == self._barrier_marker
+                self._barrier_marker = marker
+                if stuck or self._next_processor() is None:
                     # A dropped message can be the whole stall: its only
                     # copy lives in a sender's retransmit buffer.  Each
                     # barrier round force-fires the timers, and the
@@ -594,6 +620,13 @@ class ParallelMachine:
                         self._stall(
                             "deadlock recovery failed to make progress "
                             f"(gvt {before} -> {self.gvt})")
+                    # The forced execution is a real step: a machine
+                    # that only ever advances through this dispensation
+                    # (one event per barrier round) must still be
+                    # bounded by max_steps, or a slow livelock cycle
+                    # evades both guards (found by repro.campaign).
+                    steps += 1
+                    self._steps = steps
                 continue
             if proc.act():
                 self.fabric.poll(proc)

@@ -8,11 +8,11 @@ negatives, withheld-lazy counts, in-flight traffic) plus partial stats.
 """
 
 from .report import StallReport, build_report, surface
-from .watchdog import (DEFAULT_MODEL_STEPS, DEFAULT_WALL_S, StepWatchdog,
-                       WallClockWatchdog, resolve_watchdog)
+from .watchdog import (DEFAULT_MODEL_STEPS, DEFAULT_WALL_S, FakeClock,
+                       StepWatchdog, WallClockWatchdog, resolve_watchdog)
 
 __all__ = [
     "StallReport", "build_report", "surface",
-    "StepWatchdog", "WallClockWatchdog", "resolve_watchdog",
+    "StepWatchdog", "WallClockWatchdog", "FakeClock", "resolve_watchdog",
     "DEFAULT_MODEL_STEPS", "DEFAULT_WALL_S",
 ]

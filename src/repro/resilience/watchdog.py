@@ -19,7 +19,7 @@ is worse than none — and ``0``/``False`` disables entirely.
 from __future__ import annotations
 
 import time as _time
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Union
 
 #: Default step bound for the modelled machine.  A healthy run commits
 #: or advances GVT every few hundred iterations even on the largest test
@@ -66,20 +66,27 @@ class StepWatchdog:
 
 
 class WallClockWatchdog:
-    """Trips when the marker sits unchanged for ``bound_s`` seconds."""
+    """Trips when the marker sits unchanged for ``bound_s`` seconds.
 
-    def __init__(self, bound_s: float) -> None:
+    ``clock`` is injectable so induced-stall tests can drive the
+    watchdog deterministically with a fake monotonic source instead of
+    sleeping through the bound; it defaults to ``time.monotonic``.
+    """
+
+    def __init__(self, bound_s: float,
+                 clock: Callable[[], float] = _time.monotonic) -> None:
         self.bound = float(bound_s)
         self.enabled = self.bound > 0
+        self._clock = clock
         self._marker: Any = object()
-        self._since = _time.monotonic()
+        self._since = self._clock()
         self.probes = 0
 
     def tick(self, marker: Any) -> bool:
         if not self.enabled:
             return False
         self.probes += 1
-        now = _time.monotonic()
+        now = self._clock()
         if marker != self._marker:
             self._marker = marker
             self._since = now
@@ -88,7 +95,27 @@ class WallClockWatchdog:
 
     @property
     def idle_s(self) -> float:
-        return _time.monotonic() - self._since
+        return self._clock() - self._since
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic stall tests.
+
+    Pass ``clock=FakeClock()`` to :class:`WallClockWatchdog` and call
+    :meth:`advance` to move time forward — no sleeping, no flakiness.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self.now += seconds
+        return self.now
 
 
 def resolve_watchdog(value: Optional[Union[int, float]],

@@ -1,0 +1,74 @@
+"""Shared hypothesis strategies and netlist builders for the test suite.
+
+Every property-based file used to carry its own copy of the same
+scaffolding: the hypothesis ``settings`` profile that disables the
+deadline (parallel runs have wildly variable latency), the seed
+strategies, the protocol/partition enumerations, and the small random
+netlist the properties run through all the engines.  They live here
+once so the fuzzing campaign, the conformance properties and the
+equivalence properties all speak about the same scenario space.
+"""
+
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.circuits import build_random
+from repro.circuits.random_logic import TOPOLOGY_SPACE
+from repro.fabric import FaultPlan
+
+#: All synchronization protocols of the modelled machine.
+PROTOCOLS = ("optimistic", "conservative", "mixed", "dynamic")
+
+#: Protocols every backend supports (threads/procs reject "dynamic").
+STATIC_PROTOCOLS = ("optimistic", "conservative", "mixed")
+
+#: LP-to-processor partitioning schemes.
+PARTITIONS = ("round_robin", "block", "bfs")
+
+#: Small circuits: property tests run each example through several
+#: engines, so the netlist must stay cheap.
+SMALL_BUILD = dict(gates=10, registers=3, stimulus_bits=2, cycles=3)
+
+#: The acceptance-level fault plan: >=5% drop, >=2% dup, non-FIFO.
+HOSTILE = dict(drop=0.08, duplicate=0.03, reorder=0.2, jitter=1.0)
+
+#: Seed space shared by circuit/schedule/jitter seeds.
+seeds = st.integers(0, 10**6)
+
+#: Smaller seed space for expensive examples (threads, fault sweeps).
+small_seeds = st.integers(0, 10**4)
+
+protocols = st.sampled_from(PROTOCOLS)
+static_protocols = st.sampled_from(STATIC_PROTOCOLS)
+partitions = st.sampled_from(PARTITIONS)
+
+#: Random-netlist topology parameter sets, drawn from the *same*
+#: discrete space the fuzzing campaign samples
+#: (:data:`repro.circuits.random_logic.TOPOLOGY_SPACE`): one space,
+#: two samplers, so property tests and ``repro fuzz`` explore
+#: identical circuit families.
+topologies = st.fixed_dictionaries({
+    axis: st.sampled_from(choices)
+    for axis, choices in TOPOLOGY_SPACE.items()})
+
+#: Seeded fault plans drawn from the hostile corner of the plan space.
+fault_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 10**6),
+    drop=st.sampled_from([0.0, 0.05, 0.08]),
+    duplicate=st.sampled_from([0.0, 0.03]),
+    reorder=st.sampled_from([0.0, 0.1, 0.2]),
+    jitter=st.sampled_from([0.0, 1.0, 2.0]),
+)
+
+
+def prop_settings(max_examples, **overrides):
+    """The suite-wide hypothesis profile: no deadline, slowness OK."""
+    overrides.setdefault("deadline", None)
+    overrides.setdefault("suppress_health_check",
+                         [HealthCheck.too_slow])
+    return settings(max_examples=max_examples, **overrides)
+
+
+def small_random_design(seed):
+    """A fresh small random synchronous netlist (same shape per seed)."""
+    return build_random(seed, **SMALL_BUILD).design

@@ -15,29 +15,22 @@ waves — on both parallel backends.
   the OS's own nondeterminism.
 """
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.circuits import build_random
 from repro.fabric import FaultPlan
 from repro.harness import RandomScheduler, Tracer, check_all, wave_digest
 from repro.parallel.threads import run_threaded
 from repro.vhdl import simulate, simulate_parallel
+from tests.strategies import (prop_settings, seeds, small_seeds,
+                              small_random_design as fresh)
 
-SETTINGS = settings(max_examples=8, deadline=None,
-                    suppress_health_check=[HealthCheck.too_slow])
-
-#: Small circuits: each example runs the circuit several times.
-BUILD = dict(gates=10, registers=3, stimulus_bits=2, cycles=3)
-
-
-def fresh(seed):
-    return build_random(seed, **BUILD).design
+SETTINGS = prop_settings(max_examples=8)
 
 
 class TestModelledInterleavings:
     @SETTINGS
-    @given(circuit_seed=st.integers(0, 10**6),
-           schedule_seed=st.integers(0, 10**6),
+    @given(circuit_seed=seeds,
+           schedule_seed=seeds,
            processors=st.integers(2, 4))
     def test_any_interleaving_commits_oracle_waves(
             self, circuit_seed, schedule_seed, processors):
@@ -53,8 +46,8 @@ class TestModelledInterleavings:
         assert check_all(tracer, result.stats) == []
 
     @SETTINGS
-    @given(circuit_seed=st.integers(0, 10**6),
-           seed_a=st.integers(0, 10**6), seed_b=st.integers(0, 10**6))
+    @given(circuit_seed=seeds,
+           seed_a=seeds, seed_b=seeds)
     def test_two_interleavings_agree_with_each_other(
             self, circuit_seed, seed_a, seed_b):
         a = simulate_parallel(fresh(circuit_seed), 3,
@@ -71,17 +64,16 @@ class TestModelledInterleavings:
 
 class TestThreadedInterleavings:
     @SETTINGS
-    @given(circuit_seed=st.integers(0, 10**4),
-           jitter_seed=st.integers(0, 10**4))
+    @given(circuit_seed=small_seeds,
+           jitter_seed=small_seeds)
     def test_jittered_threads_commit_oracle_waves(self, circuit_seed,
                                                   jitter_seed):
-        oracle_circuit = build_random(circuit_seed, **BUILD)
-        oracle = simulate(oracle_circuit.design)
-        circuit = build_random(circuit_seed, **BUILD)
-        model = circuit.design.elaborate()
+        oracle = simulate(fresh(circuit_seed))
+        design = fresh(circuit_seed)
+        model = design.elaborate()
         plan = FaultPlan(seed=jitter_seed, jitter=2.0)
         run_threaded(model, processors=3, protocol="optimistic",
                      fault_plan=plan, timeout_s=120.0)
-        traces = {s.name: s.trace() for s in circuit.design.signals
+        traces = {s.name: s.trace() for s in design.signals
                   if s.traced}
         assert traces == oracle.traces

@@ -15,13 +15,13 @@ Both are checked over randomly generated synchronous circuits.
 import random
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.circuits import build_random
 from repro.vhdl import simulate, simulate_parallel
+from tests.strategies import partitions, prop_settings, seeds
 
-SETTINGS = settings(max_examples=12, deadline=None,
-                    suppress_health_check=[HealthCheck.too_slow])
+SETTINGS = prop_settings(max_examples=12)
 
 
 def reference_for(seed):
@@ -30,7 +30,7 @@ def reference_for(seed):
 
 class TestArbitraryOrderSoundness:
     @SETTINGS
-    @given(seed=st.integers(0, 10**6), shuffle=st.integers(0, 10**6))
+    @given(seed=seeds, shuffle=seeds)
     def test_tie_order_never_changes_results(self, seed, shuffle):
         baseline = simulate(build_random(seed).design)
         shuffled = simulate(build_random(seed).design,
@@ -41,7 +41,7 @@ class TestArbitraryOrderSoundness:
 
 class TestProtocolEquivalence:
     @SETTINGS
-    @given(seed=st.integers(0, 10**6),
+    @given(seed=seeds,
            processors=st.integers(1, 6))
     def test_optimistic(self, seed, processors):
         ref = reference_for(seed)
@@ -56,7 +56,7 @@ class TestProtocolEquivalence:
             res.stats.events_executed - res.stats.events_rolled_back
 
     @SETTINGS
-    @given(seed=st.integers(0, 10**6),
+    @given(seed=seeds,
            processors=st.integers(1, 6))
     def test_conservative(self, seed, processors):
         ref = reference_for(seed)
@@ -68,7 +68,7 @@ class TestProtocolEquivalence:
         assert res.stats.rollbacks == 0  # conservative never rolls back
 
     @SETTINGS
-    @given(seed=st.integers(0, 10**6),
+    @given(seed=seeds,
            processors=st.integers(2, 6))
     def test_mixed(self, seed, processors):
         ref = reference_for(seed)
@@ -78,7 +78,7 @@ class TestProtocolEquivalence:
         assert res.traces == ref.traces
 
     @SETTINGS
-    @given(seed=st.integers(0, 10**6),
+    @given(seed=seeds,
            processors=st.integers(2, 6))
     def test_dynamic(self, seed, processors):
         ref = reference_for(seed)
@@ -88,8 +88,8 @@ class TestProtocolEquivalence:
         assert res.traces == ref.traces
 
     @SETTINGS
-    @given(seed=st.integers(0, 10**6),
-           partition=st.sampled_from(["round_robin", "block", "bfs"]))
+    @given(seed=seeds,
+           partition=partitions)
     def test_partitioning(self, seed, partition):
         ref = reference_for(seed)
         res = simulate_parallel(build_random(seed).design, processors=4,
@@ -98,7 +98,7 @@ class TestProtocolEquivalence:
         assert res.traces == ref.traces
 
     @SETTINGS
-    @given(seed=st.integers(0, 10**6))
+    @given(seed=seeds)
     def test_user_consistent_optimistic(self, seed):
         ref = reference_for(seed)
         res = simulate_parallel(build_random(seed).design, processors=3,
@@ -108,7 +108,7 @@ class TestProtocolEquivalence:
         assert res.traces == ref.traces
 
     @SETTINGS
-    @given(seed=st.integers(0, 10**6))
+    @given(seed=seeds)
     def test_conservative_with_lookahead(self, seed):
         ref = reference_for(seed)
         res = simulate_parallel(build_random(seed).design, processors=3,
@@ -119,7 +119,7 @@ class TestProtocolEquivalence:
 
 class TestGvtInvariants:
     @SETTINGS
-    @given(seed=st.integers(0, 10**6))
+    @given(seed=seeds)
     def test_committed_counts_conserved(self, seed):
         ref = reference_for(seed)
         res = simulate_parallel(build_random(seed).design, processors=4,

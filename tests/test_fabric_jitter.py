@@ -17,19 +17,17 @@ protocol instead.
 
 import random
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.circuits import build_random
 from repro.fabric import FaultPlan, ReliableFabric, install_jitter
 from repro.parallel.machine import ParallelMachine
 from repro.vhdl import simulate
+from tests.strategies import prop_settings, protocols, seeds
 
 
-@settings(max_examples=10, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
-@given(seed=st.integers(0, 10**6), jitter_seed=st.integers(0, 10**6),
-       protocol=st.sampled_from(["optimistic", "conservative", "mixed",
-                                 "dynamic"]))
+@prop_settings(max_examples=10)
+@given(seed=seeds, jitter_seed=seeds, protocol=protocols)
 def test_jittered_latency_equivalence(seed, jitter_seed, protocol):
     ref_circuit = build_random(seed)
     ref = simulate(ref_circuit.design)

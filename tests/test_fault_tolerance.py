@@ -11,7 +11,7 @@ decides how hard it has to work.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.circuits import build_fsm, build_random
 from repro.core.stats import RunStats
@@ -22,11 +22,9 @@ from repro.parallel.machine import ParallelMachine
 from repro.parallel.threads import ThreadedMachine, run_threaded
 from repro.vhdl import simulate, simulate_parallel
 
-SETTINGS = settings(max_examples=8, deadline=None,
-                    suppress_health_check=[HealthCheck.too_slow])
+from tests.strategies import HOSTILE, prop_settings, seeds
 
-#: The acceptance-level fault plan: >=5% drop, >=2% dup, non-FIFO.
-HOSTILE = dict(drop=0.08, duplicate=0.03, reorder=0.2, jitter=1.0)
+SETTINGS = prop_settings(max_examples=8)
 
 
 def traces_of(circuit):
@@ -84,7 +82,7 @@ class TestModelledFaultEquivalence:
     """Modelled machine: all four protocols, hostile fabric."""
 
     @SETTINGS
-    @given(seed=st.integers(0, 10**6), fseed=st.integers(0, 10**6),
+    @given(seed=seeds, fseed=seeds,
            protocol=st.sampled_from(["optimistic", "conservative",
                                      "mixed", "dynamic"]))
     def test_random_circuits(self, seed, fseed, protocol):

@@ -10,8 +10,6 @@ Two families:
   or committing wrong results.
 """
 
-import time
-
 import pytest
 
 from repro.circuits import build_fsm, build_random
@@ -20,7 +18,7 @@ from repro.parallel.engine import Processor, ProtocolError
 from repro.parallel.machine import ParallelMachine
 from repro.parallel.procs import run_procs
 from repro.parallel.threads import run_threaded
-from repro.resilience import (DEFAULT_MODEL_STEPS, DEFAULT_WALL_S,
+from repro.resilience import (DEFAULT_MODEL_STEPS, DEFAULT_WALL_S, FakeClock,
                               StallReport, StepWatchdog, WallClockWatchdog,
                               build_report, resolve_watchdog, surface)
 
@@ -60,24 +58,52 @@ class TestStepWatchdog:
 
 
 class TestWallClockWatchdog:
+    # All driven by FakeClock: no sleeping, bit-exact thresholds.
+
     def test_trips_after_wall_time_without_progress(self):
-        dog = WallClockWatchdog(0.05)
+        clock = FakeClock()
+        dog = WallClockWatchdog(5.0, clock=clock)
         assert not dog.tick("a")
-        time.sleep(0.08)
-        assert dog.tick("a")
-        assert dog.idle_s >= 0.05
+        clock.advance(4.999)
+        assert not dog.tick("a")   # strictly inside the bound
+        clock.advance(0.001)
+        assert dog.tick("a")       # exactly at the bound
+        assert dog.idle_s == pytest.approx(5.0)
 
     def test_progress_resets_the_clock(self):
-        dog = WallClockWatchdog(0.1)
+        clock = FakeClock()
+        dog = WallClockWatchdog(5.0, clock=clock)
         dog.tick("a")
-        time.sleep(0.06)
+        clock.advance(4.0)
         assert not dog.tick("b")   # marker changed: clock restarts
-        assert not dog.tick("b")
+        clock.advance(4.0)
+        assert not dog.tick("b")   # only 4s since the reset
+        clock.advance(1.0)
+        assert dog.tick("b")
 
     def test_zero_bound_disables(self):
-        dog = WallClockWatchdog(0)
+        clock = FakeClock()
+        dog = WallClockWatchdog(0, clock=clock)
         assert not dog.enabled
+        clock.advance(1e9)
         assert not dog.tick("a")
+
+    def test_real_clock_is_the_default(self):
+        dog = WallClockWatchdog(1e9)
+        assert not dog.tick("a")
+        assert 0.0 <= dog.idle_s < 60.0
+
+
+class TestFakeClock:
+    def test_advance_is_cumulative(self):
+        clock = FakeClock(start=10.0)
+        assert clock() == 10.0
+        assert clock.advance(2.5) == 12.5
+        assert clock() == 12.5
+
+    def test_rejects_going_backwards(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
 
 
 class TestResolveWatchdog:
@@ -227,6 +253,33 @@ class TestThreadsStalls:
         assert report.lp_clocks
         stats = caught.value.partial_stats
         assert stats.watchdog_stalls == 1
+
+    def test_stall_trips_deterministically_under_a_fake_clock(
+            self, monkeypatch):
+        # Same sabotage, but the engine's watchdog runs on a FakeClock
+        # that jumps a full second per probe: the stall window elapses
+        # in fake time, so the diagnosis does not depend on how long
+        # the host actually takes to spin through global rounds.
+        import repro.parallel.threads as threads_mod
+
+        def fake_watchdog(bound_s):
+            clock = FakeClock()
+            dog = WallClockWatchdog(bound_s, clock=clock)
+            real_tick = dog.tick
+            dog.tick = lambda marker: (clock.advance(1.0),
+                                       real_tick(marker))[1]
+            return dog
+
+        monkeypatch.setattr(threads_mod, "WallClockWatchdog",
+                            fake_watchdog)
+        monkeypatch.setattr(Processor, "act", lambda self: False)
+        with pytest.raises(ProtocolError) as caught:
+            run_threaded(_model(), 2, protocol="optimistic",
+                         watchdog_s=3.0, timeout_s=30.0)
+        report = caught.value.stall_report
+        assert report.backend == "threads"
+        assert "no GVT advance" in report.reason
+        assert report.bound == pytest.approx(3.0)
 
     def test_healthy_run_records_liveness_stats(self):
         outcome = run_threaded(_model(), 2, protocol="optimistic",
