@@ -1,0 +1,188 @@
+"""Per-event cost of compiled vs interpreted VHDL process bodies.
+
+ROADMAP item 3: the tree-walking interpreter dominates per-event cost,
+so backend speedup numbers were latency-weighted rather than honest
+compute-bound speedup.  This benchmark measures what
+``repro.vhdl.compile`` buys on the two VHDL-text workloads whose
+processes actually run through the frontend — the FSM ring and the
+lattice IIR bank — under both execution modes, with identical
+committed results enforced.
+
+Two per-event figures are reported side by side:
+
+* **process-execution cost per process event** — wall time spent
+  inside ``ProcessBody.start/resume`` divided by the number of body
+  invocations, measured by wrapping the body objects of the elaborated
+  design.  This isolates exactly the cost the compiler attacks (the
+  interpreter's share); kernel plumbing (event heap, signal-LP
+  resolution, update fan-out) is identical in both modes and excluded.
+* **end-to-end cost per committed event** — whole-run wall clock over
+  ``events_committed``.  This includes the shared kernel cost, so it
+  bounds how much of the body-level win survives in a full run (most
+  committed events are signal-plumbing events that never touch a
+  process body).
+
+A third section reruns the compute-bound regime on the *procs* backend
+(real ``multiprocessing`` workers): the deep-lattice IIR under
+``exec_mode="interp"`` vs ``"compiled"``, demonstrating that the
+per-event saving survives checkpointing, IPC batching and token-ring
+GVT — the compiled frames are pickled into checkpoints along the way.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.circuits.vhdl_text import (build_fsm_from_vhdl,
+                                      build_iir_from_vhdl)
+from repro.harness import wave_digest
+from repro.vhdl import simulate, simulate_parallel
+from repro.vhdl.compile import lower_design
+
+#: The differential workloads: body-light ring vs body-heavy lattice.
+WORKLOADS = {
+    "fsm": lambda: build_fsm_from_vhdl(cells=8, cycles=256),
+    "iir": lambda: build_iir_from_vhdl(chans=1, sections=64, width=8,
+                                       cycles=128),
+}
+
+#: Required per-event (process-execution) speedup of compiled bodies.
+REQUIRED_SPEEDUP = 2.0
+
+
+def _instrument(design, acc):
+    """Wrap every process body so acc accumulates [seconds, calls]."""
+    for lp in design.processes:
+        body = lp.body
+        for name in ("start", "resume"):
+            orig = getattr(body, name)
+
+            def timed(api, _orig=orig, _acc=acc):
+                t0 = time.perf_counter()
+                try:
+                    return _orig(api)
+                finally:
+                    _acc[0] += time.perf_counter() - t0
+                    _acc[1] += 1
+
+            setattr(body, name, timed)
+
+
+def measure(build, mode: str):
+    """One instrumented run: wall, events, body seconds, body calls."""
+    design = build()
+    if mode == "compiled":
+        lower_design(design)  # idempotent under simulate's own lowering
+    acc = [0.0, 0]
+    _instrument(design, acc)
+    t0 = time.perf_counter()
+    result = simulate(design, exec_mode=mode)
+    wall = time.perf_counter() - t0
+    return {"wall": wall, "events": result.stats.events_committed,
+            "body_s": acc[0], "body_calls": acc[1], "result": result}
+
+
+def run_workload(name: str, build):
+    interp = measure(build, "interp")
+    compiled = measure(build, "compiled")
+    # The differential guarantee, re-checked on the benchmark sizes.
+    assert interp["result"].traces == compiled["result"].traces
+    assert wave_digest(interp["result"]) == \
+        wave_digest(compiled["result"])
+    assert interp["events"] == compiled["events"]
+    assert interp["body_calls"] == compiled["body_calls"]
+    return interp, compiled
+
+
+def _rows(name: str, interp, compiled) -> str:
+    def per_event(m):
+        return m["wall"] / m["events"] * 1e6
+
+    def per_body(m):
+        return m["body_s"] / m["body_calls"] * 1e6
+
+    body_speedup = per_body(interp) / per_body(compiled)
+    wall_speedup = per_event(interp) / per_event(compiled)
+    lines = [
+        f"{name}: {interp['events']} committed events, "
+        f"{interp['body_calls']} process executions",
+        f"  {'mode':10s} {'wall':>9s} {'us/event':>10s} "
+        f"{'body us/exec':>13s}",
+    ]
+    for mode, m in (("interp", interp), ("compiled", compiled)):
+        lines.append(f"  {mode:10s} {m['wall']:8.3f}s "
+                     f"{per_event(m):9.1f}  {per_body(m):12.1f}")
+    lines.append(f"  per-event process-execution speedup: "
+                 f"{body_speedup:.2f}x   end-to-end: {wall_speedup:.2f}x")
+    return "\n".join(lines), body_speedup, wall_speedup
+
+
+def run_procs_section():
+    """Compute-bound regime on real multiprocessing workers."""
+    rows = []
+    for mode in ("interp", "compiled"):
+        design = WORKLOADS["iir"]()
+        t0 = time.perf_counter()
+        result = simulate_parallel(design, 2, protocol="optimistic",
+                                   backend="procs", exec_mode=mode,
+                                   timeout_s=300.0)
+        wall = time.perf_counter() - t0
+        rows.append((mode, wall, result.stats.events_committed,
+                     wave_digest(result)))
+    assert rows[0][2] == rows[1][2]
+    assert rows[0][3] == rows[1][3], "procs modes diverged"
+    return rows
+
+
+def test_compile_speedup(benchmark):
+    measured = benchmark.pedantic(
+        lambda: {name: run_workload(name, build)
+                 for name, build in WORKLOADS.items()},
+        rounds=1, iterations=1)
+
+    sections = ["compiled vs interpreted process bodies "
+                "(repro.vhdl.compile)\n"
+                "  identical traces/digests asserted for every pair "
+                "of runs"]
+    speedups = {}
+    for name, (interp, compiled) in measured.items():
+        text, body_speedup, wall_speedup = _rows(name, interp, compiled)
+        sections.append(text)
+        speedups[name] = (body_speedup, wall_speedup)
+
+    procs_rows = run_procs_section()
+    procs = {mode: wall for mode, wall, _e, _d in procs_rows}
+    sections.append(
+        "procs backend, deep-lattice iir (2 workers, optimistic,\n"
+        "compiled frames pickled into every checkpoint):\n" +
+        "\n".join(f"  {mode:10s} {wall:8.3f}s  "
+                  f"{events} committed events"
+                  for mode, wall, events, _d in procs_rows) +
+        f"\n  compiled/interp wall ratio: "
+        f"{procs['interp'] / procs['compiled']:.2f}x")
+
+    sections.append(
+        "reading the numbers:\n"
+        "  * 'body us/exec' is the interpreter's share of per-event\n"
+        "    cost — exactly what the lowering pass replaces.  The\n"
+        "    compiled closures cut it well past 2x on both workloads.\n"
+        "  * 'us/event' (end-to-end) dilutes that win with kernel\n"
+        "    plumbing shared by both modes: most committed events are\n"
+        "    signal assign/drive/resolve/update events that execute\n"
+        "    no process code.  The body-heavy iir lattice keeps most\n"
+        "    of the win end to end; the body-light fsm ring keeps\n"
+        "    less.\n"
+        "  * the procs rows show the same circuit on real workers:\n"
+        "    the per-event saving survives pickled checkpoints and\n"
+        "    rollback (bit-identical digests asserted).")
+    emit("compile_speedup", "\n\n".join(sections))
+
+    # The claims the transcript is committed for: >= 2x per-event
+    # (process-execution) speedup on BOTH workloads...
+    for name, (body_speedup, _wall) in speedups.items():
+        assert body_speedup >= REQUIRED_SPEEDUP, (name, body_speedup)
+    # ...a real end-to-end win on top (generous slack for CI noise)...
+    for name, (_body, wall_speedup) in speedups.items():
+        assert wall_speedup > 1.15, (name, wall_speedup)
+    # ...and compiled at least matches interp under the procs backend.
+    assert procs["compiled"] < procs["interp"] * 1.05, procs

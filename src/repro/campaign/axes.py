@@ -34,8 +34,12 @@ BACKEND_PROTOCOLS: Dict[str, Tuple[str, ...]] = {
 }
 
 #: Toggleable scenario axes (beyond the always-on backend × protocol
-#: grid).  ``--axes`` on the CLI enables a subset.
-ALL_AXES: Tuple[str, ...] = ("topology", "faults", "schedules", "lazy")
+#: grid).  ``--axes`` on the CLI enables a subset.  ``"exec"`` adds
+#: the process-execution-mode axis (interp × compiled, see
+#: :data:`repro.vhdl.kernel.EXEC_MODES`): with it on, every
+#: ``backend × protocol`` coverage cell is emitted once per mode.
+ALL_AXES: Tuple[str, ...] = ("topology", "faults", "schedules", "lazy",
+                             "exec")
 
 #: Sampling weight per backend: the modelled machine is ~10x cheaper
 #: per scenario and the only backend with controlled (shrinkable)
@@ -76,6 +80,8 @@ class Scenario:
     #: ``None`` runs the canonical (all-defaults) interleaving.
     schedule_seed: Optional[int] = None
     fault_plan: Optional[FaultPlan] = None
+    #: Process execution mode ("interp" or "compiled").
+    exec_mode: str = "interp"
     max_steps: int = CAMPAIGN_MAX_STEPS
     timeout_s: float = CAMPAIGN_TIMEOUT_S
 
@@ -87,12 +93,14 @@ class Scenario:
         return (self.backend, self.protocol, self.circuit,
                 self.circuit_seed, self.circuit_params, self.processors,
                 self.lazy_cancellation, self.schedule_seed,
-                self.fault_plan)
+                self.fault_plan, self.exec_mode)
 
     def describe(self) -> str:
         parts = [f"{self.backend}/{self.protocol}",
                  f"{self.circuit}#{self.circuit_seed}",
                  f"p={self.processors}"]
+        if self.exec_mode != "interp":
+            parts.append(f"exec={self.exec_mode}")
         if self.circuit_params:
             parts.append("topo=" + ",".join(
                 f"{k}={v}" for k, v in self.circuit_params
@@ -123,6 +131,8 @@ class Scenario:
             data["schedule_seed"] = self.schedule_seed
         if self.fault_plan is not None:
             data["fault_plan"] = self.fault_plan.to_dict()
+        if self.exec_mode != "interp":
+            data["exec_mode"] = self.exec_mode
         return data
 
 
@@ -159,6 +169,12 @@ class ScenarioSpace:
                              f"from {list(ALL_AXES)}")
         self.circuit = circuit
         self.processors = tuple(processors)
+        #: Execution modes in play: the exec axis doubles the coverage
+        #: grid; without it every scenario interprets (the historical
+        #: behaviour, bit-for-bit).
+        self.exec_modes: Tuple[str, ...] = (
+            ("interp", "compiled") if "exec" in self.axes
+            else ("interp",))
 
     # ------------------------------------------------------------------
     def _sample_faults(self, rng: random.Random,
@@ -185,7 +201,7 @@ class ScenarioSpace:
         return plan
 
     def _sample(self, rng: random.Random, backend: str,
-                protocol: str) -> Scenario:
+                protocol: str, exec_mode: str = "interp") -> Scenario:
         params: Dict[str, Any] = {}
         if "topology" in self.axes:
             params = sample_topology(rng)
@@ -206,23 +222,28 @@ class ScenarioSpace:
             circuit_seed=rng.randrange(1 << 20),
             circuit_params=_freeze_params(params),
             processors=processors, lazy_cancellation=lazy,
-            schedule_seed=schedule_seed, fault_plan=plan)
+            schedule_seed=schedule_seed, fault_plan=plan,
+            exec_mode=exec_mode)
 
     # ------------------------------------------------------------------
-    def cells(self) -> Tuple[Tuple[str, str], ...]:
-        """Every enabled ``(backend, protocol)`` coverage cell."""
-        return tuple((backend, protocol)
+    def cells(self) -> Tuple[Tuple[str, str, str], ...]:
+        """Every enabled ``(backend, protocol, exec_mode)`` coverage
+        cell.  Without the exec axis the third element is always
+        ``"interp"``, so pre-compiler campaigns keep their old grid."""
+        return tuple((backend, protocol, exec_mode)
                      for backend in self.backends
-                     for protocol in BACKEND_PROTOCOLS[backend])
+                     for protocol in BACKEND_PROTOCOLS[backend]
+                     for exec_mode in self.exec_modes)
 
     def generate(self) -> Iterator[Scenario]:
         """Infinite scenario stream: coverage cells first, then
         weighted random sampling."""
         rng = random.Random(f"campaign/{self.seed}")
-        for backend, protocol in self.cells():
-            yield self._sample(rng, backend, protocol)
+        for backend, protocol, exec_mode in self.cells():
+            yield self._sample(rng, backend, protocol, exec_mode)
         weights = [BACKEND_WEIGHTS[b] for b in self.backends]
         while True:
             backend = rng.choices(self.backends, weights=weights)[0]
             protocol = rng.choice(BACKEND_PROTOCOLS[backend])
-            yield self._sample(rng, backend, protocol)
+            exec_mode = rng.choice(self.exec_modes)
+            yield self._sample(rng, backend, protocol, exec_mode)

@@ -51,7 +51,8 @@ def _make_checker(scenario: Scenario,
                    max_steps=scenario.max_steps,
                    watchdog=scenario.max_steps,
                    circuit_params=scenario.params(),
-                   fault_plan=scenario.fault_plan)
+                   fault_plan=scenario.fault_plan,
+                   exec_mode=scenario.exec_mode)
 
 
 @dataclass
@@ -86,6 +87,7 @@ def run_scenario(scenario: Scenario,
             circuit_seed=scenario.circuit_seed, until=until,
             circuit_params=scenario.params(),
             fault_plan=scenario.fault_plan,
+            exec_mode=scenario.exec_mode,
             timeout_s=scenario.timeout_s)
     return ScenarioOutcome(scenario=scenario, report=report,
                            duration_s=time.monotonic() - started)
@@ -200,7 +202,8 @@ class Campaign:
             lazy_cancellation=scenario.lazy_cancellation,
             circuit_params=scenario.params(),
             fault_plan=(scenario.fault_plan.to_dict()
-                        if scenario.fault_plan is not None else None))
+                        if scenario.fault_plan is not None else None),
+            exec_mode=scenario.exec_mode)
         path = self.corpus.record(
             signature, schedule, scenario,
             trace_fingerprint=fingerprint, shrunk=shrunk)

@@ -5,7 +5,9 @@ from .fsm import FsmCircuit, build_fsm, reference_taps
 from .gates import Netlist, bus_finals, bus_value
 from .iir import IirCircuit, build_iir, reference_response
 from .random_logic import RandomCircuit, build_random
-from .vhdl_text import build_fsm_from_vhdl, fsm_vhdl
+from .vhdl_text import (build_fsm_from_vhdl, build_iir_from_vhdl,
+                        build_random_behavioral, fsm_vhdl, iir_vhdl,
+                        iir_vhdl_reference, random_behavioral_vhdl)
 
 __all__ = [
     "Netlist", "bus_value", "bus_finals",
@@ -14,4 +16,6 @@ __all__ = [
     "DctCircuit", "build_dct", "reference_product",
     "RandomCircuit", "build_random",
     "fsm_vhdl", "build_fsm_from_vhdl",
+    "iir_vhdl", "build_iir_from_vhdl", "iir_vhdl_reference",
+    "random_behavioral_vhdl", "build_random_behavioral",
 ]

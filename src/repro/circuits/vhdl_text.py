@@ -1,16 +1,30 @@
-"""The paper's FSM workload as *VHDL source text*.
+"""The paper's workloads as *VHDL source text*.
 
 The paper closes by calling its method "a strong candidate for automatic
 translation for parallel simulation of VHDL".  This module demonstrates
-exactly that round trip at workload scale: it emits the FSM-ring
-benchmark as plain VHDL (a ``for ... generate`` over state-machine
-cells sharing an element-wise-driven tap vector), which the frontend
-compiles into the same logical machine the kernel-level builder
-(:mod:`repro.circuits.fsm`) constructs directly — and the two agree
-state-for-state.
+exactly that round trip at workload scale: it emits benchmark circuits
+as plain VHDL which the frontend elaborates into the same logical
+machines the kernel-level builders construct directly.
+
+Three families:
+
+* :func:`fsm_vhdl` — the FSM-ring benchmark (a ``for ... generate``
+  over state-machine cells sharing an element-wise-driven tap vector),
+  agreeing state-for-state with :mod:`repro.circuits.fsm`;
+* :func:`iir_vhdl` — the Gray–Markel lattice IIR at behavioural level
+  (paper Figs. 7/8), unrolled per section; the per-edge multiply/
+  accumulate chain makes it the canonical *compute-bound* workload for
+  the interp-vs-compiled benchmarks (:mod:`repro.vhdl.compile`);
+* :func:`random_behavioral_vhdl` — a seeded random behavioural program
+  over the full supported statement subset (if/case/for/while/exit/
+  next, vector slicing, shifts, wait on/until/for), the generator
+  behind the differential exec-mode matrix.
 """
 
 from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
 
 from ..vhdl.design import Design
 from ..vhdl.frontend import elaborate
@@ -82,3 +96,320 @@ def build_fsm_from_vhdl(cells: int, cycles: int,
     return elaborate(source, top="fsm_ring",
                      traced=("taps",) if traced else False,
                      name=f"fsm_vhdl_{cells}")
+
+
+# ----------------------------------------------------------------------
+# Behavioural lattice IIR (compute-bound workload)
+# ----------------------------------------------------------------------
+
+#: Mildly resonant defaults, mirroring circuits.iir.DEFAULT_COEFFS.
+DEFAULT_IIR_COEFFS = (3, 251)
+
+
+def iir_vhdl(chans: int = 2, sections: int = 2, width: int = 8,
+             cycles: int = 16, period_ns: int = 10,
+             coefficients: Optional[Sequence[int]] = None) -> str:
+    """VHDL source for a bank of behavioural lattice IIR channels.
+
+    Each channel is one clocked process holding the whole Gray–Markel
+    recursion unrolled over ``sections`` (the behavioural level of
+    circuits.iir): per rising edge it synthesizes an input sample from
+    a channel-indexed polynomial, runs the multiply/accumulate lattice,
+    shifts the bottom-path registers and publishes the all-pole output
+    ``f_0`` on its slice of the shared ``y`` bus.  Channels are
+    independent, so the bank partitions perfectly — and every edge
+    costs ``O(sections)`` integer multiplies, which is exactly the
+    per-event compute the process compiler is meant to accelerate.
+    """
+    if chans < 1:
+        raise ValueError("need at least one channel")
+    if sections < 1:
+        raise ValueError("need at least one lattice section")
+    modulus = 2 ** width
+    if coefficients is None:
+        coefficients = [DEFAULT_IIR_COEFFS[i % len(DEFAULT_IIR_COEFFS)]
+                        for i in range(sections)]
+    if len(coefficients) != sections:
+        raise ValueError("need one reflection coefficient per section")
+    ks = [k % modulus for k in coefficients]
+    half = period_ns // 2
+
+    decls = "\n".join(
+        f"      variable gd{i} : integer := 0;\n"
+        f"      variable ng{i} : integer := 0;" for i in range(sections))
+    lattice = "\n".join(
+        f"          f := (f - {ks[i]} * gd{i}) mod {modulus};\n"
+        f"          ng{i} := ({ks[i]} * f + gd{i}) mod {modulus};"
+        for i in range(sections - 1, -1, -1))
+    shift = "\n".join(
+        [f"          gd{i} := ng{i - 1};"
+         for i in range(sections - 1, 0, -1)] + ["          gd0 := f;"])
+
+    channels = []
+    for c in range(chans):
+        lo, hi = c * width, (c + 1) * width - 1
+        channels.append(f"""
+  chan{c} : process(clk)
+    variable t  : integer := 0;
+    variable x  : integer;
+    variable f  : integer;
+    variable f0 : integer := 0;
+{decls}
+  begin
+    if rising_edge(clk) then
+      x := ((t * {13 + c}) + ((t * t + {7 * c}) mod 97) * 5 + {c}) mod {modulus};
+      t := t + 1;
+      f := x;
+{lattice}
+{shift}
+      f0 := f;
+    end if;
+    -- Publish (runs at elaboration too, seeding the bus slice).
+    y({lo} to {hi}) <= std_logic_vector(to_unsigned(f0, {width}));
+  end process;""")
+
+    body = "\n".join(channels)
+    return f"""
+entity iir_bank is
+end iir_bank;
+
+architecture behav of iir_bank is
+  signal clk : std_logic := '0';
+  signal y   : std_logic_vector(0 to {chans * width - 1});
+begin
+
+  clocking : process
+  begin
+    for c in 1 to {cycles} loop
+      clk <= '0';
+      wait for {half} ns;
+      clk <= '1';
+      wait for {half} ns;
+    end loop;
+    wait;
+  end process;
+{body}
+
+end behav;
+"""
+
+
+def iir_vhdl_reference(chans: int = 2, sections: int = 2,
+                       width: int = 8, cycles: int = 16,
+                       coefficients: Optional[Sequence[int]] = None
+                       ) -> List[int]:
+    """Pure-Python reference: per-channel final ``f_0`` after ``cycles``."""
+    modulus = 2 ** width
+    if coefficients is None:
+        coefficients = [DEFAULT_IIR_COEFFS[i % len(DEFAULT_IIR_COEFFS)]
+                        for i in range(sections)]
+    ks = [k % modulus for k in coefficients]
+    finals = []
+    for c in range(chans):
+        gd = [0] * sections
+        f = 0
+        for t in range(cycles):
+            x = ((t * (13 + c)) + ((t * t + 7 * c) % 97) * 5 + c) % modulus
+            f = x
+            ng = [0] * sections
+            for i in range(sections - 1, -1, -1):
+                f = (f - ks[i] * gd[i]) % modulus
+                ng[i] = (ks[i] * f + gd[i]) % modulus
+            gd = [f if i == 0 else ng[i - 1] for i in range(sections)]
+        finals.append(f)
+    return finals
+
+
+def build_iir_from_vhdl(chans: int = 2, sections: int = 2,
+                        width: int = 8, cycles: int = 16,
+                        traced: bool = True, **kwargs) -> Design:
+    """Compile the generated lattice-bank VHDL into a kernel design."""
+    source = iir_vhdl(chans=chans, sections=sections, width=width,
+                      cycles=cycles, **kwargs)
+    return elaborate(source, top="iir_bank",
+                     traced=("y",) if traced else False,
+                     name=f"iir_vhdl_{chans}x{sections}")
+
+
+# ----------------------------------------------------------------------
+# Seeded random behavioural programs (differential exec-mode fodder)
+# ----------------------------------------------------------------------
+
+def _random_stmts(rng: random.Random, depth: int = 0) -> List[str]:
+    """A random sequence of sequential statements over the state
+    variables ``a``/``b``/``c`` (non-negative integers) and ``v``
+    (an 8-bit vector).  Every template keeps the integers bounded and
+    non-negative, divides only by positive literals, and bounds every
+    loop — so any generated program terminates and stays inside the
+    supported subset while still exercising if/case/for/while/exit/
+    next, vector slice/index assignment, shifts and the builtins."""
+    templates = []
+
+    def t_arith() -> str:
+        m, k = rng.randrange(2, 9), rng.randrange(0, 100)
+        return f"a := (a * {m} + b + {k}) mod 4096;"
+
+    def t_div() -> str:
+        d = rng.choice((2, 3, 4, 8))
+        return f"b := (b + a / {d} + c rem {rng.randrange(3, 17)}) mod 2048;"
+
+    def t_abs_pow() -> str:
+        return (f"c := ((abs (a - b)) + 2 ** ((a + {rng.randrange(4)}) "
+                f"mod 5)) mod 1024;")
+
+    def t_if() -> str:
+        k, j = rng.randrange(3, 9), rng.randrange(0, 3)
+        body = f"b := (b + {rng.randrange(1, 50)}) mod 1024;"
+        orelse = f"c := (c + 1) mod 512;"
+        if rng.random() < 0.5:
+            mid = f"a := (a + c) mod 4096;"
+            return (f"if (a mod {k}) > {j} then {body} "
+                    f"elsif (b mod 2) = 0 then {mid} "
+                    f"else {orelse} end if;")
+        return f"if (a mod {k}) > {j} then {body} else {orelse} end if;"
+
+    def t_case() -> str:
+        arms = [f"when 0 => a := (a + {rng.randrange(1, 20)}) mod 4096;",
+                f"when 1 | 2 => b := (b * 3 + 1) mod 2048;",
+                f"when others => c := (c + a mod 7) mod 512;"]
+        return f"case (a + b) mod {rng.randrange(4, 7)} is " \
+               + " ".join(arms) + " end case;"
+
+    def t_for() -> str:
+        n = rng.randrange(2, 6)
+        p = rng.randrange(2, 5)
+        limit = rng.randrange(300, 600)
+        var = rng.choice(("k", "n"))
+        direction = rng.choice((f"0 to {n}", f"{n} downto 0"))
+        return (f"for {var} in {direction} loop "
+                f"if ({var} + a) mod {p} = 0 then next; end if; "
+                f"c := (c + {var} * {rng.randrange(2, 9)}) mod 2048; "
+                f"if c > {limit} then exit; end if; "
+                f"end loop;")
+
+    def t_while() -> str:
+        return (f"while c > {rng.randrange(5, 40)} loop "
+                f"c := c / 2; end loop;")
+
+    def t_vector() -> str:
+        ops = [f"v := std_logic_vector(to_unsigned(a mod 256, 8));"]
+        pick = rng.random()
+        if pick < 0.34:
+            ops.append("v(3 downto 0) := v(7 downto 4);")
+        elif pick < 0.67:
+            ops.append(f"v := v {rng.choice(('sll', 'srl'))} "
+                       f"{rng.randrange(1, 4)};")
+        else:
+            ops.append(f"v({rng.randrange(8)}) := '1';")
+        ops.append("b := (b + to_integer(unsigned(v))) mod 4096;")
+        return " ".join(ops)
+
+    templates = [t_arith, t_div, t_abs_pow, t_if, t_case, t_for,
+                 t_while, t_vector]
+    count = rng.randrange(3, 8)
+    return [rng.choice(templates)() for _ in range(count)]
+
+
+def random_behavioral_vhdl(seed: int, processes: int = 3,
+                           cycles: int = 8, period_ns: int = 10) -> str:
+    """Seeded random behavioural VHDL over the supported subset.
+
+    ``processes`` clocked processes each run a random statement mix per
+    rising edge, read a neighbour's tap bit (cross-process coupling)
+    and publish a tap bit plus an 8-bit slice of a shared data bus.  A
+    final *pacer* process exercises the ``wait until`` / ``wait for``
+    resume paths.  The same seed always yields the same source — the
+    differential exec-mode matrix elaborates it twice and requires
+    interpreted and compiled runs to commit bit-identical waves.
+    """
+    if processes < 1:
+        raise ValueError("need at least one process")
+    rng = random.Random(seed)
+    total = processes + 1  # + pacer
+    half = period_ns // 2
+    blocks = []
+    for i in range(processes):
+        neighbour = (i + 1 + rng.randrange(total - 1)) % total
+        stmts = "\n        ".join(_random_stmts(rng))
+        lo, hi = i * 8, i * 8 + 7
+        blocks.append(f"""
+  proc{i} : process(clk)
+    variable a : integer := {rng.randrange(1, 1000)};
+    variable b : integer := {rng.randrange(0, 1000)};
+    variable c : integer := {rng.randrange(0, 500)};
+    variable v : std_logic_vector(7 downto 0) := "00000000";
+  begin
+    if rising_edge(clk) then
+      if taps({neighbour}) = '1' then
+        a := (a + {rng.randrange(1, 64)}) mod 4096;
+      end if;
+      {stmts}
+    end if;
+    if (a + b + c) mod 2 = 1 then
+      taps({i}) <= '1';
+    else
+      taps({i}) <= '0';
+    end if;
+    data({lo} to {hi}) <= std_logic_vector(to_unsigned((a + c) mod 256, 8));
+  end process;""")
+
+    pace_k = rng.randrange(3, 30)
+    pace_d = rng.randrange(1, max(2, half))
+    pi = processes
+    plo, phi = pi * 8, pi * 8 + 7
+    blocks.append(f"""
+  pacer : process
+    variable p : integer := {rng.randrange(0, 100)};
+  begin
+    taps({pi}) <= '0';
+    data({plo} to {phi}) <= "00000000";
+    for c in 1 to {cycles} loop
+      wait until clk = '1';
+      p := (p * 3 + {pace_k}) mod 251;
+      wait for {pace_d} ns;
+      if (p mod 2) = 1 then
+        taps({pi}) <= '1';
+      else
+        taps({pi}) <= '0';
+      end if;
+      data({plo} to {phi}) <= std_logic_vector(to_unsigned(p, 8));
+    end loop;
+    wait;
+  end process;""")
+
+    body = "\n".join(blocks)
+    return f"""
+entity behav_rand is
+end behav_rand;
+
+architecture rtl of behav_rand is
+  signal clk  : std_logic := '0';
+  signal taps : std_logic_vector(0 to {total - 1});
+  signal data : std_logic_vector(0 to {total * 8 - 1});
+begin
+
+  clocking : process
+  begin
+    for c in 1 to {cycles} loop
+      clk <= '0';
+      wait for {half} ns;
+      clk <= '1';
+      wait for {half} ns;
+    end loop;
+    wait;
+  end process;
+{body}
+
+end rtl;
+"""
+
+
+def build_random_behavioral(seed: int, processes: int = 3,
+                            cycles: int = 8,
+                            traced: bool = True) -> Design:
+    """Compile a seeded random behavioural program into a design."""
+    source = random_behavioral_vhdl(seed, processes=processes,
+                                    cycles=cycles)
+    return elaborate(source, top="behav_rand",
+                     traced=("taps", "data") if traced else False,
+                     name=f"behav_rand_{seed}")

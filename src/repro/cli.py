@@ -36,11 +36,17 @@ from .vhdl.frontend import elaborate
 #: Built-in circuit choices, shared by every subcommand that accepts
 #: one (check / fuzz, and run / parallel as a file-less alternative) —
 #: mirrors :data:`repro.harness.check.CIRCUITS`.
-CIRCUIT_CHOICES = ("fsm", "random", "random-full")
+CIRCUIT_CHOICES = ("fsm", "random", "random-full",
+                   "fsm-vhdl", "iir-vhdl", "behav")
 
 #: Scenario axes of the fuzzing campaign (mirrors
 #: :data:`repro.campaign.axes.ALL_AXES`).
-AXIS_CHOICES = ("topology", "faults", "schedules", "lazy")
+AXIS_CHOICES = ("topology", "faults", "schedules", "lazy", "exec")
+
+#: Process execution modes (mirrors
+#: :data:`repro.vhdl.kernel.EXEC_MODES`): tree-walking interpretation
+#: or the closure programs of :mod:`repro.vhdl.compile`.
+EXEC_CHOICES = ("interp", "compiled")
 
 
 def _parse_until(text: Optional[str]) -> Optional[int]:
@@ -123,9 +129,20 @@ def _add_design_args(parser: argparse.ArgumentParser) -> None:
                         help="print an ASCII timing diagram")
 
 
+def _add_exec_arg(parser: argparse.ArgumentParser,
+                  default: Optional[str] = "interp") -> None:
+    parser.add_argument("--exec", default=default,
+                        choices=list(EXEC_CHOICES),
+                        help="process execution mode: tree-walking "
+                             "interpretation (reference) or closure "
+                             "programs lowered by repro.vhdl.compile "
+                             "(bit-identical, lower per-event cost)")
+
+
 def cmd_simulate(args) -> int:
     design = _load_design(args)
-    result = simulate(design, until=_parse_until(args.until))
+    result = simulate(design, until=_parse_until(args.until),
+                      exec_mode=args.exec)
     print(f"{design.lp_count} LPs, "
           f"{result.stats.events_committed} events, "
           f"final time {format_time(result.stats.final_time.pt)}")
@@ -172,6 +189,7 @@ def cmd_parallel(args) -> int:
                                    partition=args.partition,
                                    until=_parse_until(args.until),
                                    backend=backend,
+                                   exec_mode=args.exec,
                                    fault_plan=plan, **extra)
     except ProtocolError as failure:
         report = getattr(failure, "stall_report", None)
@@ -220,6 +238,8 @@ def cmd_check(args) -> int:
 
     circuit_params = _parse_circuit_params(args.circuit_param)
 
+    exec_mode = args.exec or "interp"
+
     if args.backend != "model":
         failed = False
         for circuit in args.circuit:
@@ -227,7 +247,8 @@ def cmd_check(args) -> int:
                                 protocol=args.protocol,
                                 processors=args.processors,
                                 circuit_seed=args.circuit_seed,
-                                circuit_params=circuit_params)
+                                circuit_params=circuit_params,
+                                exec_mode=exec_mode)
             status = "CLEAN" if run.ok else "FAILED"
             print(f"{circuit} [{run.label}]: {status}")
             for violation in run.violations:
@@ -242,7 +263,9 @@ def cmd_check(args) -> int:
             print(f"cannot load schedule artifact {args.replay}: "
                   f"{failure}")
             return 1
-        run = replay_schedule(schedule)
+        # --exec overrides the artifact's recorded mode (so a corpus
+        # recorded under the interpreter re-proves itself compiled).
+        run = replay_schedule(schedule, exec_mode=args.exec)
         print(f"replayed {schedule.circuit} "
               f"({schedule.processors}p, {schedule.protocol}): "
               f"{len(run.decisions)} decisions")
@@ -259,7 +282,8 @@ def cmd_check(args) -> int:
                           protocol=args.protocol,
                           lazy_cancellation=args.lazy_cancellation,
                           watchdog=watchdog,
-                          circuit_params=circuit_params)
+                          circuit_params=circuit_params,
+                          exec_mode=exec_mode)
         schedule, run = checker.record()
         schedule.save(args.record)
         print(f"recorded {schedule.circuit} schedule "
@@ -277,7 +301,8 @@ def cmd_check(args) -> int:
                              artifact_dir=args.artifact_dir,
                              lazy_cancellation=args.lazy_cancellation,
                              watchdog=watchdog,
-                             circuit_params=circuit_params)
+                             circuit_params=circuit_params,
+                             exec_mode=exec_mode)
     failed = False
     for report in reports:
         print(report.summary())
@@ -361,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate",
                            help="run the sequential reference engine")
     _add_design_args(p_sim)
+    _add_exec_arg(p_sim)
     p_sim.set_defaults(handler=cmd_simulate)
 
     for alias in ("parallel", "run"):
@@ -431,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "GVT commits (procs) and recover it "
                                 "from its latest checkpoint "
                                 "(repeatable)")
+        _add_exec_arg(p_par)
         p_par.set_defaults(handler=cmd_parallel)
 
     p_chk = sub.add_parser(
@@ -478,6 +505,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "--circuit to PATH and exit")
     p_chk.add_argument("--replay", default=None, metavar="PATH",
                        help="replay a schedule artifact and re-verify it")
+    # Default None: a replay uses the artifact's recorded mode unless
+    # overridden; exploration/record default to the interpreter.
+    _add_exec_arg(p_chk, default=None)
     p_chk.set_defaults(handler=cmd_check)
 
     p_fuzz = sub.add_parser(

@@ -27,6 +27,9 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from ..analysis.diff import diff_results
 from ..circuits.fsm import build_fsm
 from ..circuits.random_logic import build_random
+from ..circuits.vhdl_text import (build_fsm_from_vhdl,
+                                  build_iir_from_vhdl,
+                                  build_random_behavioral)
 from ..parallel.engine import ProtocolError
 from ..vhdl.kernel import SimulationResult, simulate, simulate_parallel
 from .invariants import (check_all, check_commit_after_gvt,
@@ -56,6 +59,18 @@ CIRCUITS: Dict[str, Callable[..., object]] = {
     # cancellation — see tests/artifacts/).  Expensive; meant for
     # targeted checks and replay artifacts rather than exploration.
     "random-full": lambda seed, **p: build_random(seed, **p).design,
+    # Frontend-elaborated circuits: their process bodies run through
+    # the VHDL interpreter (or, under ``--exec compiled``, the closure
+    # programs of repro.vhdl.compile), so these are the circuits on
+    # which the exec-mode axis actually bites.
+    "fsm-vhdl": lambda seed, **p: build_fsm_from_vhdl(
+        cells=p.get("cells", 4), cycles=p.get("cycles", 4)),
+    "iir-vhdl": lambda seed, **p: build_iir_from_vhdl(
+        chans=p.get("chans", 2), sections=p.get("sections", 2),
+        width=p.get("width", 8), cycles=p.get("cycles", 8)),
+    "behav": lambda seed, **p: build_random_behavioral(
+        seed, processes=p.get("processes", 3),
+        cycles=p.get("cycles", 8)),
 }
 
 
@@ -151,7 +166,7 @@ class Checker:
                  max_steps: int = MAX_STEPS,
                  watchdog: Optional[int] = None,
                  circuit_params: Optional[Dict] = None,
-                 fault_plan=None) -> None:
+                 fault_plan=None, exec_mode: str = "interp") -> None:
         if circuit not in CIRCUITS:
             raise ValueError(f"unknown circuit {circuit!r}; choose from "
                              f"{sorted(CIRCUITS)}")
@@ -159,6 +174,11 @@ class Checker:
         self.circuit_seed = circuit_seed
         self.circuit_params = dict(circuit_params or {})
         self.fault_plan = fault_plan
+        #: Execution mode for the *checked* parallel runs.  The oracle
+        #: always interprets: it is the reference semantics, so a
+        #: compiled-mode check is simultaneously a differential
+        #: compiler test (any lowering bug shows up as an oracle diff).
+        self.exec_mode = exec_mode
         self.processors = processors
         self.protocol = protocol
         self.until = until
@@ -192,7 +212,8 @@ class Checker:
         try:
             result = simulate_parallel(
                 self._design(), self.processors, until=self.until,
-                protocol=self.protocol, tracer=tracer,
+                protocol=self.protocol, exec_mode=self.exec_mode,
+                tracer=tracer,
                 scheduler=scheduler, max_steps=self.max_steps,
                 lazy_cancellation=self.lazy_cancellation,
                 watchdog=self.watchdog, fault_plan=self.fault_plan)
@@ -369,7 +390,8 @@ class Checker:
             lazy_cancellation=self.lazy_cancellation,
             circuit_params=self.circuit_params,
             fault_plan=(self.fault_plan.to_dict()
-                        if self.fault_plan is not None else None))
+                        if self.fault_plan is not None else None),
+            exec_mode=self.exec_mode)
         index = len(report.artifacts)
         path = os.path.join(self.artifact_dir,
                             f"fail-{self.circuit}-{index}.json")
@@ -391,13 +413,20 @@ class Checker:
             lazy_cancellation=self.lazy_cancellation,
             circuit_params=self.circuit_params,
             fault_plan=(self.fault_plan.to_dict()
-                        if self.fault_plan is not None else None))
+                        if self.fault_plan is not None else None),
+            exec_mode=self.exec_mode)
         return schedule, run
 
 
 def replay_schedule(schedule: Schedule,
-                    until: Optional[int] = None) -> RunReport:
-    """Re-execute a schedule artifact and verify it reproduces itself."""
+                    until: Optional[int] = None,
+                    exec_mode: Optional[str] = None) -> RunReport:
+    """Re-execute a schedule artifact and verify it reproduces itself.
+
+    ``exec_mode`` overrides the artifact's recorded mode — replaying a
+    corpus under ``"compiled"`` re-proves every archived bug repro (and
+    its wave digest) against the closure programs.
+    """
     from ..fabric.plan import plan_from_dict
 
     checker = Checker(schedule.circuit,
@@ -407,7 +436,9 @@ def replay_schedule(schedule: Schedule,
                       lazy_cancellation=schedule.lazy_cancellation,
                       circuit_params=schedule.circuit_params,
                       fault_plan=(plan_from_dict(schedule.fault_plan)
-                                  if schedule.fault_plan else None))
+                                  if schedule.fault_plan else None),
+                      exec_mode=(schedule.exec_mode if exec_mode is None
+                                 else exec_mode))
     run = checker.run_schedule(schedule.replayer(), "replay")
     if schedule.wave_digest and run.digest \
             and run.digest != schedule.wave_digest:
@@ -423,8 +454,8 @@ def check_circuits(circuits: List[str], schedules: int = 25,
                    artifact_dir: Optional[str] = None,
                    lazy_cancellation: bool = False,
                    watchdog: Optional[int] = None,
-                   circuit_params: Optional[Dict] = None
-                   ) -> List[CheckReport]:
+                   circuit_params: Optional[Dict] = None,
+                   exec_mode: str = "interp") -> List[CheckReport]:
     """Explore every named circuit; the CLI entry point's core."""
     reports = []
     for circuit in circuits:
@@ -433,7 +464,8 @@ def check_circuits(circuits: List[str], schedules: int = 25,
                           artifact_dir=artifact_dir,
                           lazy_cancellation=lazy_cancellation,
                           watchdog=watchdog,
-                          circuit_params=circuit_params)
+                          circuit_params=circuit_params,
+                          exec_mode=exec_mode)
         reports.append(checker.explore(schedules=schedules, seed=seed))
     return reports
 
@@ -442,6 +474,7 @@ def check_backend(circuit: str, backend: str, protocol: str,
                   processors: int = 2, circuit_seed: int = 0,
                   until: Optional[int] = None,
                   circuit_params: Optional[Dict] = None,
+                  exec_mode: str = "interp",
                   **backend_kwargs) -> RunReport:
     """Differential oracle for the *real* backends (threads / procs).
 
@@ -462,7 +495,7 @@ def check_backend(circuit: str, backend: str, protocol: str,
     oracle = simulate(build_circuit(circuit, circuit_seed,
                                     circuit_params), until=until)
     oracle_digest = wave_digest(oracle)
-    label = f"{backend}/{protocol}"
+    label = f"{backend}/{protocol}/{exec_mode}"
     violations: List[str] = []
     stall_report = None
     result: Optional[SimulationResult] = None
@@ -470,7 +503,8 @@ def check_backend(circuit: str, backend: str, protocol: str,
         result = simulate_parallel(
             build_circuit(circuit, circuit_seed, circuit_params),
             processors, until=until,
-            protocol=protocol, backend=backend, **backend_kwargs)
+            protocol=protocol, backend=backend, exec_mode=exec_mode,
+            **backend_kwargs)
     except ProtocolError as failure:
         violations.append(f"protocol-error: {failure}")
         stall_report = getattr(failure, "stall_report", None)

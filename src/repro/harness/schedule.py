@@ -208,6 +208,11 @@ class Schedule:
     #: :meth:`repro.fabric.plan.FaultPlan.to_dict`); ``None`` means a
     #: fault-free run.  Optional in the JSON, like ``circuit_params``.
     fault_plan: Optional[Dict[str, Any]] = None
+    #: Process execution mode of the recorded run (``"interp"`` or
+    #: ``"compiled"``, see :data:`repro.vhdl.kernel.EXEC_MODES`).
+    #: Optional in the JSON — serialized only when not ``"interp"``,
+    #: so pre-compiler artifacts keep loading unchanged.
+    exec_mode: str = "interp"
 
     # -- (de)serialization --------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -230,6 +235,8 @@ class Schedule:
                 for key, value in self.circuit_params.items()}
         if self.fault_plan:
             data["fault_plan"] = self.fault_plan
+        if self.exec_mode != "interp":
+            data["exec_mode"] = self.exec_mode
         return data
 
     def save(self, path: str) -> None:
@@ -260,6 +267,7 @@ class Schedule:
             circuit_params=normalize_params(
                 data.get("circuit_params", {})),
             fault_plan=data.get("fault_plan"),
+            exec_mode=data.get("exec_mode", "interp"),
         )
 
     def replayer(self) -> ReplayScheduler:

@@ -1,7 +1,9 @@
 """The distributed VHDL kernel: values, signals, processes, designs."""
 
+from .compile import CompiledBody, Frame, lower_design
 from .design import Design
-from .kernel import SimulationResult, simulate, simulate_parallel
+from .kernel import (EXEC_MODES, SimulationResult, simulate,
+                     simulate_parallel)
 from .process import (ClockedBody, ClockGeneratorBody, CombinationalBody,
                       GeneratorBody, ProcessAPI, ProcessBody, ProcessLP,
                       Wait, sid, sids)
@@ -12,6 +14,7 @@ from .values import (SL_0, SL_1, SL_DASH, SL_H, SL_L, SL_U, SL_W, SL_X,
 
 __all__ = [
     "Design", "SimulationResult", "simulate", "simulate_parallel",
+    "CompiledBody", "Frame", "lower_design", "EXEC_MODES",
     "ClockedBody", "ClockGeneratorBody", "CombinationalBody",
     "GeneratorBody", "ProcessAPI", "ProcessBody", "ProcessLP", "Wait",
     "sid", "sids",

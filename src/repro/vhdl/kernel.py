@@ -68,16 +68,40 @@ def _claim(design: Design) -> None:
     design._simulated = True
 
 
+#: Process execution modes selectable by :func:`simulate` and
+#: :func:`simulate_parallel`:
+#:
+#: * ``"interp"``   — tree-walking interpretation of VHDL process
+#:   bodies (the reference semantics);
+#: * ``"compiled"`` — processes lowered to flat closure programs by
+#:   :mod:`repro.vhdl.compile` (bit-identical results, lower per-event
+#:   cost).
+EXEC_MODES = ("interp", "compiled")
+
+
+def _lower(design: Design, exec_mode: str) -> None:
+    """Apply the selected execution mode to ``design``'s processes."""
+    if exec_mode not in EXEC_MODES:
+        raise ValueError(f"unknown exec mode {exec_mode!r}; pick from "
+                         f"{EXEC_MODES}")
+    if exec_mode == "compiled":
+        from .compile import lower_design
+        lower_design(design)
+
+
 def simulate(design: Design, until: Optional[int] = None,
              max_events: Optional[int] = None,
-             shuffle_ties=None) -> SimulationResult:
+             shuffle_ties=None, exec_mode: str = "interp") -> SimulationResult:
     """Run ``design`` on the sequential reference engine.
 
     ``until`` is in femtoseconds; events *at* that time still execute.
     ``shuffle_ties`` randomizes the order of simultaneous events (the
     results must not depend on it; see the property tests).
+    ``exec_mode`` selects interpreted or compiled process bodies (see
+    :data:`EXEC_MODES`); both commit bit-identical results.
     """
     _claim(design)
+    _lower(design, exec_mode)
     model = design.elaborate()
     sim = SequentialSimulator(model, shuffle_ties=shuffle_ties)
     stats = sim.run(until=until, max_events=max_events)
@@ -92,6 +116,7 @@ def simulate_parallel(design: Design, processors: int,
                       until: Optional[int] = None,
                       protocol: str = "dynamic",
                       backend: str = "model",
+                      exec_mode: str = "interp",
                       **machine_kwargs: Any) -> SimulationResult:
     """Run ``design`` on a parallel backend.
 
@@ -117,12 +142,15 @@ def simulate_parallel(design: Design, processors: int,
 
     All backends commit identical results; they differ in how they
     synchronize and in which cost figure (modelled makespan vs. wall
-    clock) is meaningful.
+    clock) is meaningful.  ``exec_mode`` selects interpreted or
+    compiled process bodies (see :data:`EXEC_MODES`); compiled frames
+    are picklable, so rollback and procs checkpointing work unchanged.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; pick from "
                          f"{BACKENDS}")
     _claim(design)
+    _lower(design, exec_mode)
     model = design.elaborate()
     if backend == "model":
         from ..parallel.machine import run_parallel

@@ -1,0 +1,41 @@
+"""Shared pytest wiring for the suite.
+
+The ``slow`` marker (full backend matrices and benchmark-size
+circuits) and the tier-1 skip logic live here — one place instead of
+duplicated ``markers`` + ``addopts`` entries in pyproject.toml, so a
+new test file marking cases ``slow`` automatically stays out of the
+tier-1 run without any configuration edits.
+
+Behaviour matches the historical ``addopts = "-m 'not slow'"``:
+
+* a plain ``pytest`` run *deselects* every ``slow``-marked test (the
+  tier-1 configuration — the summary line still reports them as
+  deselected, exactly as before);
+* any explicit ``-m`` expression on the command line wins outright
+  (``-m slow`` runs only the slow matrix, ``-m ''`` runs everything).
+"""
+
+import pytest
+
+SLOW_MARKER = ("slow: full backend matrices and benchmark-size "
+               "circuits (deselected unless -m is given explicitly; "
+               "tier-1 CI skips them)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", SLOW_MARKER)
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("-m"):
+        return  # an explicit marker expression takes full control
+    selected = []
+    deselected = []
+    for item in items:
+        if "slow" in item.keywords:
+            deselected.append(item)
+        else:
+            selected.append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected

@@ -46,9 +46,29 @@ class TestScenarioSpace:
         space = ScenarioSpace(seed=3)
         cells = space.cells()
         head = take(space.generate(), len(cells))
-        assert [(s.backend, s.protocol) for s in head] == list(cells)
-        # All 3 backends x all their protocols: 4 + 3 + 3 cells.
-        assert len(cells) == 10
+        assert [(s.backend, s.protocol, s.exec_mode)
+                for s in head] == list(cells)
+        # All 3 backends x all their protocols x both exec modes:
+        # (4 + 3 + 3) x 2 cells.
+        assert len(cells) == 20
+
+    def test_exec_axis_covers_the_interp_compiled_grid(self):
+        # With the exec axis on (the default), every backend x protocol
+        # cell is emitted once per execution mode before any sampling.
+        space = ScenarioSpace(seed=3)
+        head = take(space.generate(), len(space.cells()))
+        grid = {(s.backend, s.protocol, s.exec_mode) for s in head}
+        for backend in BACKEND_PROTOCOLS:
+            for protocol in BACKEND_PROTOCOLS[backend]:
+                for mode in ("interp", "compiled"):
+                    assert (backend, protocol, mode) in grid
+
+    def test_exec_axis_off_keeps_the_interp_grid(self):
+        space = ScenarioSpace(seed=3, axes=("topology", "schedules"))
+        assert space.exec_modes == ("interp",)
+        assert len(space.cells()) == 10
+        for scenario in take(space.generate(), 40):
+            assert scenario.exec_mode == "interp"
 
     def test_real_backends_never_draw_dynamic(self):
         for scenario in take(ScenarioSpace(seed=5).generate(), 200):

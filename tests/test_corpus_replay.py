@@ -26,11 +26,16 @@ def test_corpus_is_not_empty():
     assert ARTIFACTS, f"no artifacts found under {ARTIFACT_DIR}"
 
 
+@pytest.mark.parametrize("exec_mode", ["interp", "compiled"])
 @pytest.mark.parametrize(
     "path", ARTIFACTS, ids=[os.path.basename(p) for p in ARTIFACTS])
-def test_artifact_replays_bit_identically(path):
+def test_artifact_replays_bit_identically(path, exec_mode):
+    # Every committed artifact replays under BOTH execution modes: the
+    # corpus was recorded against the interpreter, so a compiled replay
+    # reproducing the same digest and violation kinds is a differential
+    # proof of the lowering pass on every archived bug configuration.
     schedule = Schedule.load(path)
-    report = replay_schedule(schedule)
+    report = replay_schedule(schedule, exec_mode=exec_mode)
     # Replay must reproduce the recorded waves exactly...
     assert report.digest is not None
     if schedule.wave_digest:

@@ -1,14 +1,24 @@
-"""Interpreter corner cases: loops with waits, slices, shifts, scoping."""
+"""Interpreter corner cases: loops with waits, slices, shifts, scoping.
+
+Every case runs under BOTH execution modes (the ``run`` fixture is
+parametrized over ``interp`` and ``compiled``), so each semantic
+assertion here also binds the closure programs of
+:mod:`repro.vhdl.compile` — including the error cases, which must
+raise the same :class:`VhdlRuntimeError` at the same point.
+"""
 
 import pytest
 
 from repro.core import NS
-from repro.vhdl import SL_0, SL_1, simulate, vector_to_int, vector_to_str
+from repro.vhdl import (EXEC_MODES, SL_0, SL_1, simulate, vector_to_int,
+                        vector_to_str)
 from repro.vhdl.frontend import VhdlRuntimeError, elaborate
 
 
-def run(body, decls="", signals="", extra=""):
-    src = f"""
+@pytest.fixture(params=EXEC_MODES)
+def run(request):
+    def _run(body, decls="", signals="", extra=""):
+        src = f"""
 entity t is end t;
 architecture a of t is
   signal done : std_logic := '0';
@@ -25,11 +35,13 @@ begin
   end process;
 end a;
 """
-    return simulate(elaborate(src, top="t"))
+        return simulate(elaborate(src, top="t"),
+                        exec_mode=request.param)
+    return _run
 
 
 class TestLoopsWithWaits:
-    def test_wait_inside_while_loop(self):
+    def test_wait_inside_while_loop(self, run):
         res = run("""
     while to_integer(outv) < 3 loop
       outv <= outv + 1;
@@ -41,7 +53,7 @@ class TestLoopsWithWaits:
         # three iterations -> done at 3 ns
         assert res.stats.final_time.pt >= 3 * NS
 
-    def test_wait_inside_nested_for_loops(self):
+    def test_wait_inside_nested_for_loops(self, run):
         res = run("""
     for i in 0 to 1 loop
       for j in 0 to 1 loop
@@ -52,7 +64,7 @@ class TestLoopsWithWaits:
 """)
         assert vector_to_int(res.finals["outv"]) == 3
 
-    def test_exit_from_inner_loop_only(self):
+    def test_exit_from_inner_loop_only(self, run):
         # Accumulate in a VARIABLE: a signal assignment would keep
         # reading the pre-run value (correct VHDL semantics — signals
         # update only at the next delta, which tests below rely on).
@@ -68,7 +80,7 @@ class TestLoopsWithWaits:
         # inner loop runs one productive iteration per outer pass
         assert vector_to_int(res.finals["outv"]) == 3
 
-    def test_next_skips_iteration(self):
+    def test_next_skips_iteration(self, run):
         res = run("""
     for i in 0 to 5 loop
       next when (i mod 2) = 1;
@@ -78,7 +90,7 @@ class TestLoopsWithWaits:
 """, decls="    variable n : integer := 0;")
         assert vector_to_int(res.finals["outv"]) == 3
 
-    def test_signal_assignment_reads_stale_value_without_wait(self):
+    def test_signal_assignment_reads_stale_value_without_wait(self, run):
         # The VHDL trap the two tests above avoid, pinned explicitly:
         # without a wait, the local copy never refreshes, so repeated
         # `outv <= outv + 1` keeps computing 0 + 1.
@@ -89,7 +101,7 @@ class TestLoopsWithWaits:
 """)
         assert vector_to_int(res.finals["outv"]) == 1
 
-    def test_loop_variable_shadowing_restored(self):
+    def test_loop_variable_shadowing_restored(self, run):
         res = run("""
     i := 42;
     for i in 0 to 3 loop
@@ -99,7 +111,7 @@ class TestLoopsWithWaits:
 """, decls="    variable i : integer := 0;")
         assert vector_to_int(res.finals["outv"]) == 42
 
-    def test_downto_loop(self):
+    def test_downto_loop(self, run):
         res = run("""
     for i in 3 downto 1 loop
       outv <= outv + i;
@@ -110,7 +122,7 @@ class TestLoopsWithWaits:
 
 
 class TestVectorOperations:
-    def test_slice_read_and_write(self):
+    def test_slice_read_and_write(self, run):
         res = run("""
     outv(3 downto 0) <= "1010";
     wait for 1 ns;
@@ -118,7 +130,7 @@ class TestVectorOperations:
 """)
         assert vector_to_str(res.finals["outv"]) == "10101010"
 
-    def test_variable_slice_assignment(self):
+    def test_variable_slice_assignment(self, run):
         res = run("""
     v(3 downto 2) := "11";
     outv <= v;
@@ -126,7 +138,7 @@ class TestVectorOperations:
            '"00000000";')
         assert vector_to_str(res.finals["outv"]) == "00001100"
 
-    def test_shift_operators(self):
+    def test_shift_operators(self, run):
         res = run("""
     outv <= "00000001" sll 3;
     wait for 1 ns;
@@ -134,19 +146,19 @@ class TestVectorOperations:
 """)
         assert vector_to_int(res.finals["outv"]) == 4
 
-    def test_concat_builds_width(self):
+    def test_concat_builds_width(self, run):
         res = run("""
     outv <= "0000" & "11" & '0' & '1';
 """)
         assert vector_to_str(res.finals["outv"]) == "00001101"
 
-    def test_resize(self):
+    def test_resize(self, run):
         res = run("""
     outv <= resize("101", 8);
 """)
         assert vector_to_int(res.finals["outv"]) == 5
 
-    def test_length_attribute(self):
+    def test_length_attribute(self, run):
         res = run("""
     outv <= to_unsigned(outv'length, 8);
 """)
@@ -154,38 +166,38 @@ class TestVectorOperations:
 
 
 class TestArithmetic:
-    def test_mod_and_rem_signs(self):
+    def test_mod_and_rem_signs(self, run):
         res = run("""
     outv <= to_unsigned(((0 - 7) mod 3) + 10, 8);
 """)
         # VHDL mod follows the divisor's sign: (-7) mod 3 = 2 -> 12
         assert vector_to_int(res.finals["outv"]) == 12
 
-    def test_rem_truncates_toward_zero(self):
+    def test_rem_truncates_toward_zero(self, run):
         res = run("""
     outv <= to_unsigned((0 - 7) rem 3 + 10, 8);
 """)
         # (-7) rem 3 = -1 -> 9
         assert vector_to_int(res.finals["outv"]) == 9
 
-    def test_power(self):
+    def test_power(self, run):
         res = run("outv <= to_unsigned(2 ** 6, 8);")
         assert vector_to_int(res.finals["outv"]) == 64
 
-    def test_abs(self):
+    def test_abs(self, run):
         res = run("outv <= to_unsigned(abs (0 - 9), 8);")
         assert vector_to_int(res.finals["outv"]) == 9
 
 
 class TestErrors:
-    def test_index_out_of_range(self):
+    def test_index_out_of_range(self, run):
         with pytest.raises(VhdlRuntimeError):
             run("outv(9) <= '1';")
 
-    def test_unknown_name(self):
+    def test_unknown_name(self, run):
         with pytest.raises(VhdlRuntimeError):
             run("outv <= to_unsigned(nonexistent, 8);")
 
-    def test_width_mismatch(self):
+    def test_width_mismatch(self, run):
         with pytest.raises(VhdlRuntimeError):
             run('outv <= "101";')

@@ -9,9 +9,18 @@ updates, timeout cancellation — the exact cases the paper lists as
 import pytest
 
 from repro.core import NS
-from repro.vhdl import (ClockedBody, CombinationalBody, Design,
+from repro.vhdl import (ClockedBody, CombinationalBody, Design, EXEC_MODES,
                         GeneratorBody, SL_0, SL_1, SL_X, SL_Z, Wait,
                         simulate, sl)
+
+
+@pytest.fixture(params=EXEC_MODES)
+def exec_mode(request):
+    """Run every semantic assertion under both execution modes, so the
+    cases that pin the distributed VHDL cycle also bind the lowering
+    pass (and the kernel's vectorized delta-cycle sweep) in compiled
+    mode."""
+    return request.param
 
 
 def pulse_stim(signal, schedule):
@@ -27,7 +36,7 @@ def pulse_stim(signal, schedule):
 
 
 class TestDeltaCycles:
-    def test_delta_chain_increments_lt_by_three(self):
+    def test_delta_chain_increments_lt_by_three(self, exec_mode):
         d = Design("chain")
         a = d.signal("a", SL_0, traced=True)
         b = d.signal("b", SL_0, traced=True)
@@ -35,7 +44,7 @@ class TestDeltaCycles:
         d.process("buf1", CombinationalBody([a], [b], lambda v: v))
         d.process("buf2", CombinationalBody([b], [c], lambda v: v))
         d.stimulus("stim", pulse_stim(a, [(SL_1, 1 * NS)]), drives=[a])
-        res = simulate(d)
+        res = simulate(d, exec_mode=exec_mode)
         (ta, _), = res.trace("a")
         (tb, _), = res.trace("b")
         (tc, _), = res.trace("c")
@@ -43,28 +52,28 @@ class TestDeltaCycles:
         assert tb.lt == ta.lt + 3
         assert tc.lt == tb.lt + 3
 
-    def test_zero_delay_oscillator_loops_in_delta_time(self):
+    def test_zero_delay_oscillator_loops_in_delta_time(self, exec_mode):
         # An inverter feeding itself never settles: physical time must
         # not advance, only the delta counter.
         d = Design("osc")
         a = d.signal("a", SL_0, traced=True)
         d.process("inv", CombinationalBody([a], [a], lambda v: ~v))
-        res = simulate(d, max_events=200)
+        res = simulate(d, exec_mode=exec_mode, max_events=200)
         assert all(t.pt == 0 for t, _ in res.trace("a"))
         assert len(res.trace("a")) > 10
 
-    def test_nonzero_delay_breaks_oscillation_into_physical_time(self):
+    def test_nonzero_delay_breaks_oscillation_into_physical_time(self, exec_mode):
         d = Design("osc2")
         a = d.signal("a", SL_0, traced=True)
         d.process("inv", CombinationalBody([a], [a], lambda v: ~v,
                                            delay_fs=2 * NS))
-        res = simulate(d, until=11 * NS)
+        res = simulate(d, exec_mode=exec_mode, until=11 * NS)
         times = [t.pt for t, _ in res.trace("a")]
         assert times == [2 * NS, 4 * NS, 6 * NS, 8 * NS, 10 * NS]
 
 
 class TestResolution:
-    def test_resolution_applied_after_all_simultaneous_transactions(self):
+    def test_resolution_applied_after_all_simultaneous_transactions(self, exec_mode):
         # Two drivers schedule transactions for the same instant; the
         # effective value must be the resolution of both, never an
         # intermediate value of just one.
@@ -72,20 +81,20 @@ class TestResolution:
         bus = d.signal("bus", SL_Z, traced=True)
         d.stimulus("d1", pulse_stim(bus, [(SL_0, 1 * NS)]), drives=[bus])
         d.stimulus("d2", pulse_stim(bus, [(SL_1, 1 * NS)]), drives=[bus])
-        res = simulate(d)
+        res = simulate(d, exec_mode=exec_mode)
         assert [v for _, v in res.trace("bus")] == [SL_X]
 
-    def test_z_release_returns_bus_to_other_driver(self):
+    def test_z_release_returns_bus_to_other_driver(self, exec_mode):
         d = Design("res2")
         bus = d.signal("bus", SL_Z, traced=True)
         d.stimulus("d1", pulse_stim(bus, [(SL_0, 1 * NS)]), drives=[bus])
         d.stimulus("d2", pulse_stim(bus, [(SL_1, 2 * NS), (SL_Z, 4 * NS)]),
                    drives=[bus])
-        res = simulate(d)
+        res = simulate(d, exec_mode=exec_mode)
         assert [(t.pt, v) for t, v in res.trace("bus")] == [
             (1 * NS, SL_0), (2 * NS, SL_X), (4 * NS, SL_0)]
 
-    def test_custom_resolution_function(self):
+    def test_custom_resolution_function(self, exec_mode):
         # A wired-AND bus.
         def wired_and(values):
             out = SL_1
@@ -97,12 +106,12 @@ class TestResolution:
         bus = d.signal("bus", SL_1, resolution=wired_and, traced=True)
         d.stimulus("d1", pulse_stim(bus, [(SL_1, 1 * NS)]), drives=[bus])
         d.stimulus("d2", pulse_stim(bus, [(SL_0, 2 * NS)]), drives=[bus])
-        res = simulate(d)
+        res = simulate(d, exec_mode=exec_mode)
         assert [(t.pt, v) for t, v in res.trace("bus")] == [(2 * NS, SL_0)]
 
 
 class TestProcessRunOrdering:
-    def test_process_sees_all_simultaneous_updates(self):
+    def test_process_sees_all_simultaneous_updates(self, exec_mode):
         # A process sensitive to two signals that change in the same
         # delta must observe both new values in its single run.
         d = Design("multiupd")
@@ -123,12 +132,12 @@ class TestProcessRunOrdering:
         d.process("watch", Watcher([a, b], [out],
                                    lambda x, y: x & y))
         d.stimulus("stim", pulse_stim(src, [(SL_1, 1 * NS)]), drives=[src])
-        simulate(d)
+        simulate(d, exec_mode=exec_mode)
         # a and b change in the same delta; the watcher runs once and
         # sees both already updated.
         assert seen == [(SL_1, SL_1)]
 
-    def test_no_glitch_between_simultaneous_updates(self):
+    def test_no_glitch_between_simultaneous_updates(self, exec_mode):
         # out = a xor b with a == b always: must never publish '1'.
         d = Design("noglitch")
         src = d.signal("src", SL_0)
@@ -141,13 +150,13 @@ class TestProcessRunOrdering:
                                            lambda x, y: x ^ y))
         d.stimulus("stim", pulse_stim(src, [(SL_1, 1 * NS),
                                             (SL_0, 2 * NS)]), drives=[src])
-        res = simulate(d)
+        res = simulate(d, exec_mode=exec_mode)
         assert res.trace("out") == []
         assert res.finals["out"] is SL_0
 
 
 class TestDelayMechanisms:
-    def test_inertial_swallows_short_pulse_end_to_end(self):
+    def test_inertial_swallows_short_pulse_end_to_end(self, exec_mode):
         d = Design("inertial")
         a = d.signal("a", SL_0)
         y = d.signal("y", SL_0, traced=True)
@@ -156,10 +165,10 @@ class TestDelayMechanisms:
         # 2 ns pulse through a 5 ns inertial buffer: swallowed.
         d.stimulus("stim", pulse_stim(a, [(SL_1, 10 * NS),
                                           (SL_0, 12 * NS)]), drives=[a])
-        res = simulate(d)
+        res = simulate(d, exec_mode=exec_mode)
         assert res.trace("y") == []
 
-    def test_transport_passes_short_pulse(self):
+    def test_transport_passes_short_pulse(self, exec_mode):
         d = Design("transport")
         a = d.signal("a", SL_0)
         y = d.signal("y", SL_0, traced=True)
@@ -168,13 +177,13 @@ class TestDelayMechanisms:
                                            transport=True))
         d.stimulus("stim", pulse_stim(a, [(SL_1, 10 * NS),
                                           (SL_0, 12 * NS)]), drives=[a])
-        res = simulate(d)
+        res = simulate(d, exec_mode=exec_mode)
         assert [(t.pt, v) for t, v in res.trace("y")] == [
             (15 * NS, SL_1), (17 * NS, SL_0)]
 
 
 class TestWaitSemantics:
-    def test_wait_until_with_timeout_whichever_first(self):
+    def test_wait_until_with_timeout_whichever_first(self, exec_mode):
         d = Design("wut")
         go = d.signal("go", SL_0)
         log = []
@@ -188,10 +197,10 @@ class TestWaitSemantics:
 
         d.stimulus("waiter", gen, reads=[go])
         d.stimulus("stim", pulse_stim(go, [(SL_1, 7 * NS)]), drives=[go])
-        simulate(d)
+        simulate(d, exec_mode=exec_mode)
         assert log == [7 * NS]
 
-    def test_wait_timeout_fires_when_no_event(self):
+    def test_wait_timeout_fires_when_no_event(self, exec_mode):
         d = Design("wt")
         go = d.signal("go", SL_0)
         log = []
@@ -203,10 +212,10 @@ class TestWaitSemantics:
             log.append(api.now_fs)
 
         d.stimulus("waiter", gen, reads=[go])
-        simulate(d)
+        simulate(d, exec_mode=exec_mode)
         assert log == [100 * NS]
 
-    def test_wait_for_zero_resumes_next_delta(self):
+    def test_wait_for_zero_resumes_next_delta(self, exec_mode):
         d = Design("w0")
         log = []
 
@@ -216,15 +225,15 @@ class TestWaitSemantics:
             log.append(api.now)
 
         d.stimulus("p", gen)
-        simulate(d)
+        simulate(d, exec_mode=exec_mode)
         assert log[0].pt == log[1].pt == 0
         assert log[1].lt == log[0].lt + 3
 
 
 class TestStimulusReuseGuard:
-    def test_design_cannot_be_simulated_twice(self):
+    def test_design_cannot_be_simulated_twice(self, exec_mode):
         d = Design("once")
         d.signal("s", SL_0)
-        simulate(d)
+        simulate(d, exec_mode=exec_mode)
         with pytest.raises(RuntimeError):
-            simulate(d)
+            simulate(d, exec_mode=exec_mode)
