@@ -1,0 +1,172 @@
+"""What the artifact layer buys: elaborate once, simulate N times.
+
+ROADMAP item 2 (docs/architecture.md): a production fleet runs a few
+distinct designs thousands of times, so elaboration — parse +
+elaborate + lower, all run-independent — should be paid once per
+design, not once per run.  This benchmark measures the three tiers of
+that amortization on a body-heavy VHDL workload (the lattice IIR bank,
+whose source is large enough that the frontend cost is an honest
+fraction of a run):
+
+* **per-operation cost** — cold elaboration (parse + elaborate +
+  snapshot) vs an on-disk cache hit (read + integrity-check, no
+  parsing) vs ``instantiate()`` (unpickle a fresh runtime);
+* **batch throughput** — N sequential runs the pre-artifact way
+  (re-elaborate every run) vs through ``RunService`` (resolve the
+  artifact once, instantiate per run), identical committed waves
+  asserted for every pair;
+* the same comparison for the **programmatic** path (structural-hash
+  artifacts of the built FSM ring; no parser involved, so the win is
+  smaller — the floor of the technique).
+"""
+
+import tempfile
+import time
+
+from conftest import emit
+
+from repro.circuits import build_fsm
+from repro.circuits.vhdl_text import iir_vhdl
+from repro.harness import wave_digest
+from repro.service import BatchJob, RunService, RunSpec, VhdlJob
+from repro.vhdl import (ElabCache, build_artifact, cached_elaborate,
+                        simulate)
+from repro.vhdl.frontend import elaborate
+
+#: The VHDL workload: wide lattice bank, short run — elaboration-heavy.
+IIR_KW = dict(chans=2, sections=24, width=8, cycles=8)
+TOP = "iir_bank"
+RUNS = 8
+
+
+def timed(fn, repeat=3):
+    """Best-of-``repeat`` wall time plus the last return value."""
+    best, value = float("inf"), None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def per_operation(source, cache):
+    cold_s, artifact = timed(
+        lambda: build_artifact(source, TOP, traced=("y",)), repeat=1)
+    cache.put(artifact)
+    hit_s, (hit, was_hit) = timed(lambda: cached_elaborate(
+        source, TOP, traced=("y",), cache=cache))
+    assert was_hit and hit.content_hash == artifact.content_hash
+    inst_s, design = timed(artifact.instantiate)
+    assert design is not None
+    return artifact, {"cold_s": cold_s, "hit_s": hit_s,
+                      "inst_s": inst_s}
+
+
+def batch_rebuild(source):
+    """The pre-artifact discipline: every run re-elaborates."""
+    t0 = time.perf_counter()
+    digests = set()
+    for _ in range(RUNS):
+        result = simulate(elaborate(source, top=TOP, traced=("y",)))
+        digests.add(wave_digest(result))
+    return time.perf_counter() - t0, digests
+
+
+def batch_service(source, cache):
+    """The artifact discipline: resolve once, instantiate per run."""
+    service = RunService(cache=cache, max_workers=1)
+    job = BatchJob(design=VhdlJob(source=source, top=TOP,
+                                  traced=("y",)),
+                   runs=[RunSpec(backend="seq") for _ in range(RUNS)])
+    t0 = time.perf_counter()
+    batch = service.run_batch([job])
+    wall = time.perf_counter() - t0
+    assert batch.ok, [o.error for o in batch.failures]
+    assert batch.elaborations + batch.cache_hits == 1
+    return wall, {wave_digest(o.result) for o in batch.outcomes}
+
+
+def programmatic_section():
+    """The floor: builder circuits have no parser cost to amortize."""
+    build = lambda: build_fsm(cells=8, cycles=8).design  # noqa: E731
+    t0 = time.perf_counter()
+    rebuild_digests = {wave_digest(simulate(build()))
+                       for _ in range(RUNS)}
+    rebuild_s = time.perf_counter() - t0
+
+    artifact = build().artifact()
+    t0 = time.perf_counter()
+    artifact_digests = {wave_digest(simulate(artifact.instantiate()))
+                        for _ in range(RUNS)}
+    artifact_s = time.perf_counter() - t0
+    assert rebuild_digests == artifact_digests
+    assert len(artifact_digests) == 1
+    return rebuild_s, artifact_s
+
+
+def test_elab_amortization(benchmark):
+    source = iir_vhdl(**IIR_KW)
+
+    def run():
+        with tempfile.TemporaryDirectory() as root:
+            cache = ElabCache(root=root)
+            artifact, ops = per_operation(source, cache)
+            rebuild_s, rebuild_digests = batch_rebuild(source)
+            service_s, service_digests = batch_service(source, cache)
+            return artifact, ops, rebuild_s, rebuild_digests, \
+                service_s, service_digests
+
+    (artifact, ops, rebuild_s, rebuild_digests, service_s,
+     service_digests) = benchmark.pedantic(run, rounds=1, iterations=1)
+    prog_rebuild_s, prog_artifact_s = programmatic_section()
+
+    # The acceptance criterion, on benchmark sizes: runs from the
+    # cached artifact commit exactly the waves of cold rebuilds.
+    assert rebuild_digests == service_digests
+    assert len(service_digests) == 1
+
+    sections = [
+        "elaborate once, simulate N times (repro.vhdl.artifact + "
+        "repro.service)\n"
+        f"  workload: lattice iir bank {IIR_KW}, sequential engine,\n"
+        f"  identical wave digests asserted across every path",
+        (f"per-operation cost ({len(artifact.payload)}-byte artifact, "
+         f"{artifact.meta['lps']} LPs):\n"
+         f"  cold elaborate (parse+elaborate+snapshot) "
+         f"{ops['cold_s'] * 1e3:9.1f} ms\n"
+         f"  cache hit      (read+verify, no parsing)  "
+         f"{ops['hit_s'] * 1e3:9.1f} ms   "
+         f"({ops['cold_s'] / ops['hit_s']:.1f}x cheaper)\n"
+         f"  instantiate    (fresh runtime)            "
+         f"{ops['inst_s'] * 1e3:9.1f} ms   "
+         f"({ops['cold_s'] / ops['inst_s']:.1f}x cheaper)"),
+        (f"batch of {RUNS} runs, vhdl workload:\n"
+         f"  re-elaborate per run   {rebuild_s:7.2f}s  "
+         f"({rebuild_s / RUNS * 1e3:7.1f} ms/run)\n"
+         f"  RunService (1 elab)    {service_s:7.2f}s  "
+         f"({service_s / RUNS * 1e3:7.1f} ms/run)\n"
+         f"  batch speedup: {rebuild_s / service_s:.2f}x"),
+        (f"batch of {RUNS} runs, programmatic fsm (the floor — no "
+         f"parser to skip):\n"
+         f"  rebuild per run        {prog_rebuild_s:7.2f}s\n"
+         f"  artifact instantiate   {prog_artifact_s:7.2f}s\n"
+         f"  ratio: {prog_rebuild_s / prog_artifact_s:.2f}x"),
+        ("reading the numbers:\n"
+         "  * the cache hit skips the frontend entirely — its cost is\n"
+         "    file read + sha256 + unpickle, independent of source\n"
+         "    complexity; the gap vs cold widens with design size.\n"
+         "  * the batch speedup is the service's whole value: run\n"
+         "    time is unchanged, elaboration happens once instead of\n"
+         "    N times.  Body-heavy circuits with short runs gain the\n"
+         "    most; long simulations amortize elaboration anyway.\n"
+         "  * the programmatic path has no parser cost, so its win\n"
+         "    is just build-vs-unpickle — small but never negative."),
+    ]
+    emit("elab_amortization", "\n\n".join(sections))
+
+    # The claims the transcript is committed for: a cache hit and an
+    # instantiation are each well under cold elaboration cost, and the
+    # batched service beats rebuild-per-run end to end.
+    assert ops["hit_s"] < ops["cold_s"] / 2, ops
+    assert ops["inst_s"] < ops["cold_s"] / 2, ops
+    assert service_s < rebuild_s, (service_s, rebuild_s)

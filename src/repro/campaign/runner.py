@@ -52,7 +52,12 @@ def _make_checker(scenario: Scenario,
                    watchdog=scenario.max_steps,
                    circuit_params=scenario.params(),
                    fault_plan=scenario.fault_plan,
-                   exec_mode=scenario.exec_mode)
+                   exec_mode=scenario.exec_mode,
+                   # Fuzzing amortizes elaboration: each scenario's
+                   # circuit is snapshotted once and every run (oracle
+                   # + schedules, or oracle + backend) instantiates a
+                   # fresh runtime from the shared artifact.
+                   reuse_artifact=True)
 
 
 @dataclass
@@ -88,6 +93,7 @@ def run_scenario(scenario: Scenario,
             circuit_params=scenario.params(),
             fault_plan=scenario.fault_plan,
             exec_mode=scenario.exec_mode,
+            reuse_artifact=True,
             timeout_s=scenario.timeout_s)
     return ScenarioOutcome(scenario=scenario, report=report,
                            duration_s=time.monotonic() - started)

@@ -1,5 +1,6 @@
 """The paper's benchmark circuits and supporting netlist machinery."""
 
+from .bodies import BusPlayer, DffCapture
 from .dct import DctCircuit, build_dct, reference_product
 from .fsm import FsmCircuit, build_fsm, reference_taps
 from .gates import Netlist, bus_finals, bus_value
@@ -11,6 +12,7 @@ from .vhdl_text import (build_fsm_from_vhdl, build_iir_from_vhdl,
 
 __all__ = [
     "Netlist", "bus_value", "bus_finals",
+    "BusPlayer", "DffCapture",
     "FsmCircuit", "build_fsm", "reference_taps",
     "IirCircuit", "build_iir", "reference_response",
     "DctCircuit", "build_dct", "reference_product",

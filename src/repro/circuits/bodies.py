@@ -1,0 +1,50 @@
+"""Picklable process-body callables for the benchmark circuits.
+
+The circuit builders used to wire :class:`~repro.vhdl.process.ClockedBody`
+with local closures (a ``play``/``capture``/``step`` function capturing
+LP ids from the enclosing builder).  Closures cannot cross a process
+boundary, which is fatal once a design is snapshotted into a
+:class:`~repro.vhdl.artifact.DesignArtifact` and shipped to ``spawn``
+workers.  These module-level callable classes carry the same captured
+values as instance attributes instead — identical behaviour, but
+picklable and deterministically hashable (plain data, no cell objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..vhdl.values import sl
+
+
+@dataclass(frozen=True)
+class BusPlayer:
+    """Plays ``playlist`` onto a bus, one value per clock, then zeros.
+
+    The shared stimulus pattern of the random-netlist player, the IIR
+    sample feeder and the DCT row/column players: state ``{"i": n}``
+    advances every call; bit ``b`` of the current value drives
+    ``out_ids[b]``.
+    """
+
+    playlist: Tuple[int, ...]
+    out_ids: Tuple[int, ...]
+
+    def __call__(self, state: Dict, inputs: Dict, api) -> Dict:
+        index = state["i"]
+        value = self.playlist[index] if index < len(self.playlist) else 0
+        state["i"] = index + 1
+        return {self.out_ids[b]: sl((value >> b) & 1)
+                for b in range(len(self.out_ids))}
+
+
+@dataclass(frozen=True)
+class DffCapture:
+    """Rising-edge D flip-flop body: ``q <= d``."""
+
+    d_id: int
+    q_id: int
+
+    def __call__(self, state: Dict, inputs: Dict, api) -> Dict:
+        return {self.q_id: inputs[self.d_id]}

@@ -31,6 +31,7 @@ from ..core.vtime import NS
 from ..vhdl.design import Design
 from ..vhdl.process import ClockedBody
 from ..vhdl.values import SL_0, sl
+from .bodies import BusPlayer
 from .gates import Netlist, Wire, bus_value
 
 #: Defaults sized toward the paper's gate-level DCT (~1792 LPs):
@@ -120,15 +121,8 @@ def _player(design: Design, net: Netlist, clk: Wire, name: str,
             values: Sequence[int], width: int) -> List[Wire]:
     """A clocked process playing ``values`` on a bus, then zeros."""
     bus = net.bus(name, width)
-    out_ids = [w.lp_id for w in bus]
-    playlist = tuple(values)
-
-    def play(state: Dict, inputs: Dict, api) -> Dict:
-        index = state["i"]
-        value = playlist[index] if index < len(playlist) else 0
-        state["i"] = index + 1
-        return {out_ids[b]: sl((value >> b) & 1) for b in range(width)}
-
+    play = BusPlayer(playlist=tuple(values),
+                     out_ids=tuple(w.lp_id for w in bus))
     body = ClockedBody(clock=clk, inputs=[], outputs=bus, fn=play,
                        initial_state={"i": 0})
     design.process(f"{name}.player", body, mode=SyncMode.CONSERVATIVE)
@@ -152,6 +146,29 @@ def _build_gate(net: Netlist, clk: Wire, a_buses: List[List[Wire]],
     return accs
 
 
+@dataclass(frozen=True)
+class MacStep:
+    """Behavioural MAC-cell body (module-level callable: picklable)."""
+
+    a_ids: tuple
+    c_ids: tuple
+    out_ids: tuple
+    mask: int
+
+    def __call__(self, state: Dict, inputs: Dict, api) -> Dict:
+        a = 0
+        for b, sig in enumerate(self.a_ids):
+            if inputs[sig].to_bool():
+                a |= 1 << b
+        c = 0
+        for b, sig in enumerate(self.c_ids):
+            if inputs[sig].to_bool():
+                c |= 1 << b
+        state["acc"] = (state["acc"] + a * c) & self.mask
+        return {self.out_ids[b]: sl((state["acc"] >> b) & 1)
+                for b in range(len(self.out_ids))}
+
+
 def _build_behavioral(design: Design, clk: Wire,
                       a_buses: List[List[Wire]],
                       c_buses: List[List[Wire]], n: int,
@@ -163,25 +180,10 @@ def _build_behavioral(design: Design, clk: Wire,
         for k in range(n):
             bus = [design.signal(f"acc{i}{k}[{b}]", SL_0)
                    for b in range(width)]
-            out_ids = [w.lp_id for w in bus]
-            a_ids = [w.lp_id for w in a_buses[i]]
-            c_ids = [w.lp_id for w in c_buses[k]]
-
-            def mac(state: Dict, inputs: Dict, api,
-                    _a=tuple(a_ids), _c=tuple(c_ids),
-                    _out=tuple(out_ids)) -> Dict:
-                a = 0
-                for b, sig in enumerate(_a):
-                    if inputs[sig].to_bool():
-                        a |= 1 << b
-                c = 0
-                for b, sig in enumerate(_c):
-                    if inputs[sig].to_bool():
-                        c |= 1 << b
-                state["acc"] = (state["acc"] + a * c) & mask
-                return {_out[b]: sl((state["acc"] >> b) & 1)
-                        for b in range(width)}
-
+            mac = MacStep(a_ids=tuple(w.lp_id for w in a_buses[i]),
+                          c_ids=tuple(w.lp_id for w in c_buses[k]),
+                          out_ids=tuple(w.lp_id for w in bus),
+                          mask=mask)
             body = ClockedBody(clock=clk,
                                inputs=list(a_buses[i]) + list(c_buses[k]),
                                outputs=bus, fn=mac,

@@ -55,6 +55,23 @@ def _next_state(state: int, ext: int) -> int:
     return ((state << 1) | feedback) & 0xF
 
 
+@dataclass(frozen=True)
+class FsmCellStep:
+    """Behavioural cell body: advance the LFSR, drive the tap bit.
+
+    A module-level callable (not a closure) so behavioural designs
+    pickle into artifacts and cross ``spawn`` process boundaries.
+    """
+
+    tap_id: int
+    neighbour_id: int
+
+    def __call__(self, state: Dict, inputs: Dict, api) -> Dict:
+        ext = 1 if inputs[self.neighbour_id].to_bool() else 0
+        state["s"] = _next_state(state["s"], ext)
+        return {self.tap_id: sl(state["s"] & 1)}
+
+
 def build_fsm(cells: int = DEFAULT_CELLS, level: str = "gate",
               cycles: int = 32, period_fs: int = 10 * NS,
               traced_taps: bool = True,
@@ -122,15 +139,7 @@ def _build_behavioral(design: Design, clk: Wire, cells: int,
     for c in range(cells):
         neighbour = taps[(c - 1) % cells]
         tap = taps[c]
-        tap_id = tap.lp_id
-        neighbour_id = neighbour.lp_id
-
-        def step(state: Dict, inputs: Dict, api,
-                 _tap_id=tap_id, _n_id=neighbour_id) -> Dict:
-            ext = 1 if inputs[_n_id].to_bool() else 0
-            state["s"] = _next_state(state["s"], ext)
-            return {_tap_id: sl(state["s"] & 1)}
-
+        step = FsmCellStep(tap_id=tap.lp_id, neighbour_id=neighbour.lp_id)
         body = ClockedBody(clock=clk, inputs=[neighbour], outputs=[tap],
                            fn=step, initial_state={"s": (c % 15) + 1})
         design.process(f"c{c}.fsm", body, mode=SyncMode.CONSERVATIVE)

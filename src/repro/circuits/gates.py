@@ -22,6 +22,7 @@ from ..vhdl.design import Design
 from ..vhdl.process import ClockedBody, CombinationalBody, ProcessLP
 from ..vhdl.signal import SignalLP
 from ..vhdl.values import SL_0, StdLogic, sl
+from .bodies import DffCapture
 
 Wire = SignalLP
 
@@ -152,12 +153,8 @@ class Netlist:
             name: Optional[str] = None, init=SL_0) -> Wire:
         """A rising-edge D flip-flop; conservative under the mixed config."""
         q = q or self.wire(init=init)
-        q_id = q.lp_id
-
-        def capture(state: Dict, inputs: Dict, api) -> Dict:
-            return {q_id: inputs[d.lp_id]}
-
-        body = ClockedBody(clock=clk, inputs=[d], outputs=[q], fn=capture)
+        body = ClockedBody(clock=clk, inputs=[d], outputs=[q],
+                           fn=DffCapture(d_id=d.lp_id, q_id=q.lp_id))
         self.register_count += 1
         self.design.process(name or self._fresh("dff"), body,
                             mode=SyncMode.CONSERVATIVE)

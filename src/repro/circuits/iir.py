@@ -29,6 +29,7 @@ from ..core.vtime import NS
 from ..vhdl.design import Design
 from ..vhdl.process import ClockedBody
 from ..vhdl.values import SL_0, sl
+from .bodies import BusPlayer
 from .gates import Netlist, Wire, bus_value
 
 #: Defaults sized to the paper: 2 sections x 8-bit ≈ 1.7k LPs.
@@ -101,15 +102,8 @@ def _sample_feeder(design: Design, net: Netlist, clk: Wire,
                    samples: Sequence[int], width: int) -> List[Wire]:
     """A clocked ROM that plays ``samples`` on an input bus, then zeros."""
     x_bus = net.bus("x", width, traced=False)
-    out_ids = [w.lp_id for w in x_bus]
-    playlist = tuple(samples)
-
-    def feed(state: Dict, inputs: Dict, api) -> Dict:
-        index = state["i"]
-        value = playlist[index] if index < len(playlist) else 0
-        state["i"] = index + 1
-        return {out_ids[b]: sl((value >> b) & 1) for b in range(width)}
-
+    feed = BusPlayer(playlist=tuple(samples),
+                     out_ids=tuple(w.lp_id for w in x_bus))
     body = ClockedBody(clock=clk, inputs=[], outputs=x_bus, fn=feed,
                        initial_state={"i": 0})
     design.process("feeder", body, mode=SyncMode.CONSERVATIVE)
@@ -147,22 +141,22 @@ def _build_gate(net: Netlist, clk: Wire, x_bus: List[Wire],
     return y
 
 
-def _build_behavioral(design: Design, clk: Wire, x_bus: List[Wire],
-                      coefficients: Sequence[int],
-                      width: int) -> List[Wire]:
-    mask = (1 << width) - 1
-    y_bus = [design.signal(f"y[{b}]", SL_0, traced=True)
-             for b in range(width)]
-    y_ids = [w.lp_id for w in y_bus]
-    x_ids = [w.lp_id for w in x_bus]
-    ks = tuple(coefficients)
+@dataclass(frozen=True)
+class LatticeStep:
+    """Behavioural lattice body (module-level callable: picklable)."""
 
-    def step(state: Dict, inputs: Dict, api) -> Dict:
+    x_ids: tuple
+    y_ids: tuple
+    ks: tuple
+    mask: int
+
+    def __call__(self, state: Dict, inputs: Dict, api) -> Dict:
         x = 0
-        for b, sig in enumerate(x_ids):
+        for b, sig in enumerate(self.x_ids):
             if inputs[sig].to_bool():
                 x |= 1 << b
         gd = state["gd"]  # delayed bottom-path values, index = section
+        ks, mask = self.ks, self.mask
         f = x
         new_g: List[int] = [0] * len(ks)
         for i in range(len(ks) - 1, -1, -1):
@@ -173,10 +167,22 @@ def _build_behavioral(design: Design, clk: Wire, x_bus: List[Wire],
         state["gd"] = tuple(
             f0 if i == 0 else new_g[i - 1] for i in range(len(ks)))
         state["y"] = f0
-        return {y_ids[b]: sl((f0 >> b) & 1) for b in range(width)}
+        return {self.y_ids[b]: sl((f0 >> b) & 1)
+                for b in range(len(self.y_ids))}
 
+
+def _build_behavioral(design: Design, clk: Wire, x_bus: List[Wire],
+                      coefficients: Sequence[int],
+                      width: int) -> List[Wire]:
+    mask = (1 << width) - 1
+    y_bus = [design.signal(f"y[{b}]", SL_0, traced=True)
+             for b in range(width)]
+    step = LatticeStep(x_ids=tuple(w.lp_id for w in x_bus),
+                       y_ids=tuple(w.lp_id for w in y_bus),
+                       ks=tuple(coefficients), mask=mask)
     body = ClockedBody(clock=clk, inputs=x_bus, outputs=y_bus, fn=step,
-                       initial_state={"gd": tuple([0] * len(ks)), "y": 0})
+                       initial_state={"gd": tuple([0] * len(step.ks)),
+                                      "y": 0})
     design.process("lattice", body, mode=SyncMode.CONSERVATIVE)
     return y_bus
 

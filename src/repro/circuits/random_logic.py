@@ -19,6 +19,7 @@ from ..core.vtime import NS
 from ..vhdl.design import Design
 from ..vhdl.process import ClockedBody
 from ..vhdl.values import SL_0, sl
+from .bodies import BusPlayer
 from .gates import Netlist, Wire
 
 _GATE_KINDS = ("and", "or", "xor", "nand", "nor", "xnor", "not", "buf")
@@ -90,19 +91,13 @@ def build_random(seed: int, gates: int = 24, registers: int = 4,
     design.clock("clkgen", clk, period_fs=period_fs, cycles=cycles)
     net = Netlist(design)
 
-    # Clocked stimulus player with a random playlist (checkpointable).
+    # Clocked stimulus player with a random playlist (checkpointable,
+    # picklable: BusPlayer is a module-level callable, not a closure).
     stim_bus = net.bus("stim", stimulus_bits)
     playlist = tuple(rng.randrange(1 << stimulus_bits)
                      for _ in range(cycles + 1))
-    out_ids = [w.lp_id for w in stim_bus]
-
-    def play(state: Dict, inputs: Dict, api) -> Dict:
-        index = state["i"]
-        value = playlist[index] if index < len(playlist) else 0
-        state["i"] = index + 1
-        return {out_ids[b]: sl((value >> b) & 1)
-                for b in range(stimulus_bits)}
-
+    play = BusPlayer(playlist=playlist,
+                     out_ids=tuple(w.lp_id for w in stim_bus))
     design.process("stim.player",
                    ClockedBody(clock=clk, inputs=[], outputs=stim_bus,
                                fn=play, initial_state={"i": 0}),

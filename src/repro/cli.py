@@ -183,6 +183,8 @@ def cmd_parallel(args) -> int:
         extra["watchdog"] = int(args.watchdog)
     if backend == "procs":
         extra["quantum"] = args.quantum
+        if args.start_method is not None:
+            extra["start_method"] = args.start_method
     try:
         result = simulate_parallel(design, processors=args.processors,
                                    protocol=args.protocol,
@@ -241,6 +243,9 @@ def cmd_check(args) -> int:
     exec_mode = args.exec or "interp"
 
     if args.backend != "model":
+        backend_kwargs = {}
+        if args.backend == "procs" and args.start_method is not None:
+            backend_kwargs["start_method"] = args.start_method
         failed = False
         for circuit in args.circuit:
             run = check_backend(circuit, backend=args.backend,
@@ -248,7 +253,8 @@ def cmd_check(args) -> int:
                                 processors=args.processors,
                                 circuit_seed=args.circuit_seed,
                                 circuit_params=circuit_params,
-                                exec_mode=exec_mode)
+                                exec_mode=exec_mode,
+                                **backend_kwargs)
             status = "CLEAN" if run.ok else "FAILED"
             print(f"{circuit} [{run.label}]: {status}")
             for violation in run.violations:
@@ -347,6 +353,131 @@ def cmd_fuzz(args) -> int:
     return 0 if summary.ok else 1
 
 
+def _parse_run_spec(text: str):
+    """``"backend=procs,protocol=optimistic,p=2,exec=compiled"`` ->
+    RunSpec kwargs."""
+    from .service import RunSpec
+
+    kwargs = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"repro: --run item {item!r} is not "
+                             f"KEY=VALUE")
+        key = key.strip()
+        value = value.strip()
+        if key in ("p", "processors"):
+            kwargs["processors"] = int(value)
+        elif key in ("backend", "protocol", "label"):
+            kwargs[key] = value
+        elif key == "exec":
+            kwargs["exec_mode"] = value
+        elif key == "until":
+            kwargs["until"] = _parse_until(value)
+        else:
+            raise SystemExit(f"repro: unknown --run key {key!r} "
+                             f"(use backend/protocol/p/exec/until/label)")
+    return RunSpec(**kwargs)
+
+
+def _artifact_source(args):
+    """Resolve the elab/batch design input to a service DesignSource.
+
+    Returns ``(source, cache)``: VHDL files go through the
+    content-addressed elaboration cache; built-in circuits become
+    builder callables (structural-hash artifacts, no cache)."""
+    from .harness.check import build_circuit
+    from .service import VhdlJob
+    from .vhdl.cache import ElabCache
+
+    if args.circuit is not None and args.file is not None:
+        raise SystemExit("repro: give a VHDL file or --circuit, not both")
+    if args.circuit is not None:
+        circuit = args.circuit
+        seed = args.circuit_seed
+        params = _parse_circuit_params(args.circuit_param)
+        return (lambda: build_circuit(circuit, seed, params)), None
+    if args.file is None:
+        raise SystemExit("repro: need a VHDL file or --circuit NAME")
+    if args.top is None:
+        raise SystemExit("repro: --top is required with a VHDL file")
+    with open(args.file) as handle:
+        source = handle.read()
+    cache = None if args.no_cache else ElabCache(args.cache_dir)
+    return VhdlJob(source=source, top=args.top,
+                   exec_mode=args.exec or "interp"), cache
+
+
+def cmd_elab(args) -> int:
+    """Elaborate once into a content-addressed artifact (via the cache)."""
+    from .service import RunService
+
+    source, cache = _artifact_source(args)
+    service = RunService(cache=cache, max_workers=1)
+    artifact, how = service.resolve(source)
+    sizes = artifact.size_report()
+    print(f"artifact {artifact.name}: {artifact.content_hash}")
+    print(f"  resolved      : {how}"
+          + ("" if cache is None else f" (cache: {cache.root})"))
+    print(f"  lp graph      : {sizes['lps']} LPs "
+          f"({sizes['signals']} signals, {sizes['processes']} processes, "
+          f"{sizes['channels']} channels)")
+    print(f"  payload       : {len(artifact.payload)} bytes")
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(artifact.to_bytes())
+        print(f"  written to    : {args.output}")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    """Elaborate each design once, fan N runs onto a worker pool."""
+    from .harness.check import wave_digest
+    from .service import BatchJob, RunService, RunSpec
+
+    source, cache = _artifact_source(args)
+    specs = [_parse_run_spec(text) for text in (args.run or [])]
+    if not specs:
+        specs = [RunSpec(backend="seq",
+                         exec_mode=args.exec or "interp")]
+    specs = [spec for spec in specs for _ in range(args.repeat)]
+    service = RunService(cache=cache, max_workers=args.jobs)
+    batch = service.run_batch([BatchJob(design=source, runs=specs)])
+    digests = set()
+    for outcome in batch.outcomes:
+        spec = outcome.spec
+        label = spec.label or (
+            f"{spec.backend}"
+            + ("" if spec.backend == "seq"
+               else f"/{spec.protocol}/p{spec.processors}"))
+        if outcome.ok:
+            digest = wave_digest(outcome.result)
+            digests.add(digest)
+            print(f"  [{outcome.run_index:3d}] {label:28s} ok "
+                  f"{outcome.duration_s:6.2f}s  "
+                  f"{outcome.result.stats.events_committed:7d} events  "
+                  f"digest {digest[:12]}")
+        else:
+            print(f"  [{outcome.run_index:3d}] {label:28s} "
+                  f"FAILED: {outcome.error}")
+    summary = batch.summary()
+    print(f"batch: {summary['runs']} runs, {summary['failed']} failed, "
+          f"{summary['elaborations']} cold elaboration(s), "
+          f"{summary['cache_hits']} cache hit(s), "
+          f"{summary['wall_time_s']}s")
+    print(f"  fleet: {batch.fleet.events_committed} committed, "
+          f"{batch.fleet.rollbacks} rollbacks, "
+          f"efficiency {batch.fleet.efficiency:.3f}")
+    if len(digests) > 1:
+        print(f"  WARNING: {len(digests)} distinct wave digests — "
+              f"runs of one design should commit identical waves")
+        return 1
+    return 0 if batch.ok else 1
+
+
 def cmd_report(args) -> int:
     design = _load_design(args)
     report = design.size_report()
@@ -432,6 +563,13 @@ def build_parser() -> argparse.ArgumentParser:
         p_par.add_argument("--quantum", type=int, default=64,
                            help="events per act-quantum between IPC "
                                 "flushes (threads/procs backends)")
+        p_par.add_argument("--start-method", default=None,
+                           choices=["fork", "spawn", "forkserver"],
+                           help="procs-backend worker start method "
+                                "(default: fork when available, else "
+                                "spawn; under spawn workers rebuild "
+                                "their machines from the pickled "
+                                "pristine model)")
         p_par.add_argument("--timeout", type=float, default=120.0,
                            help="wall-clock budget in seconds "
                                 "(threads/procs backends)")
@@ -484,6 +622,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "'threads'/'procs' run the differential "
                             "oracle against a real parallel run "
                             "(OS-chosen interleaving)")
+    p_chk.add_argument("--start-method", default=None,
+                       choices=["fork", "spawn", "forkserver"],
+                       help="worker start method for --backend procs "
+                            "(spawn exercises the artifact rebuild "
+                            "path; default: fork when available)")
     p_chk.add_argument("--artifact-dir", default=None,
                        help="write failing schedules here as replayable "
                             "JSON artifacts")
@@ -543,6 +686,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("-v", "--verbose", action="store_true",
                         help="print one line per scenario")
     p_fuzz.set_defaults(handler=cmd_fuzz)
+
+    def _add_artifact_source_args(p) -> None:
+        p.add_argument("file", nargs="?", default=None,
+                       help="VHDL source file (or use --circuit)")
+        p.add_argument("--top", default=None,
+                       help="top entity to elaborate (VHDL file)")
+        p.add_argument("--circuit", default=None,
+                       choices=list(CIRCUIT_CHOICES),
+                       help="use a built-in circuit instead of a "
+                            "VHDL file")
+        p.add_argument("--circuit-seed", type=int, default=0,
+                       help="seed for the built-in circuit builder")
+        p.add_argument("--circuit-param", action="append",
+                       default=None, metavar="KEY=VALUE",
+                       help="circuit-builder override (repeatable)")
+        p.add_argument("--cache-dir", default=None,
+                       help="elaboration cache directory (default: "
+                            "~/.cache/repro/elab or $REPRO_CACHE_DIR)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the elaboration cache entirely")
+
+    p_elab = sub.add_parser(
+        "elab",
+        help="elaborate once into a content-addressed artifact")
+    _add_artifact_source_args(p_elab)
+    _add_exec_arg(p_elab)
+    p_elab.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="also write the framed artifact blob here")
+    p_elab.set_defaults(handler=cmd_elab)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="elaborate once, fan N runs onto a worker pool")
+    _add_artifact_source_args(p_batch)
+    _add_exec_arg(p_batch)
+    p_batch.add_argument("--run", action="append", default=None,
+                         metavar="SPEC",
+                         help="one run configuration, e.g. "
+                              "'backend=procs,protocol=optimistic,p=2' "
+                              "(keys: backend/protocol/p/exec/until/"
+                              "label; repeatable; default: one "
+                              "sequential run)")
+    p_batch.add_argument("--repeat", type=int, default=1,
+                         help="repeat every --run spec this many times")
+    p_batch.add_argument("--jobs", type=int, default=4,
+                         help="worker-pool width for the fan-out")
+    p_batch.set_defaults(handler=cmd_batch)
 
     p_rep = sub.add_parser("report", help="print the LP graph inventory")
     p_rep.add_argument("file")

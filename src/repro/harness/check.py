@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -82,6 +83,44 @@ def build_circuit(circuit: str, seed: int,
         raise ValueError(f"unknown circuit {circuit!r}; choose from "
                          f"{sorted(CIRCUITS)}")
     return CIRCUITS[circuit](seed, **(params or {}))
+
+
+#: Bounded LRU memo of circuit snapshots for artifact reuse, keyed by
+#: the build *inputs* (circuit, seed, canonical params) — a hit is
+#: exactly a call that would have rebuilt the same design.
+_ARTIFACT_MEMO: Dict[str, object] = {}
+_ARTIFACT_MEMO_CAP = 64
+_ARTIFACT_LOCK = threading.Lock()
+
+
+def circuit_artifact(circuit: str, seed: int,
+                     params: Optional[Dict] = None):
+    """Snapshot a registered circuit once; reuse it across runs.
+
+    Returns the memoized :class:`~repro.vhdl.artifact.DesignArtifact`
+    for ``(circuit, seed, params)``, building and snapshotting the
+    design on first use.  Callers ``instantiate()`` a fresh runtime
+    per run, so build cost is paid once per distinct configuration
+    instead of once per run — the Checker runs one circuit dozens of
+    times per exploration, and :func:`check_backend` runs it twice
+    (oracle + backend) per differential check.
+    """
+    from ..vhdl.artifact import canonical_digest
+
+    key = canonical_digest({"circuit": circuit, "seed": seed,
+                            "params": params or {}})
+    with _ARTIFACT_LOCK:
+        artifact = _ARTIFACT_MEMO.pop(key, None)
+        if artifact is not None:
+            _ARTIFACT_MEMO[key] = artifact
+            return artifact
+    built = build_circuit(circuit, seed, params).artifact()
+    with _ARTIFACT_LOCK:
+        artifact = _ARTIFACT_MEMO.pop(key, built)
+        _ARTIFACT_MEMO[key] = artifact
+        while len(_ARTIFACT_MEMO) > _ARTIFACT_MEMO_CAP:
+            _ARTIFACT_MEMO.pop(next(iter(_ARTIFACT_MEMO)))
+    return artifact
 
 #: Livelock guard for controlled runs (a pathological schedule must
 #: fail loudly, not hang the exploration).
@@ -166,7 +205,8 @@ class Checker:
                  max_steps: int = MAX_STEPS,
                  watchdog: Optional[int] = None,
                  circuit_params: Optional[Dict] = None,
-                 fault_plan=None, exec_mode: str = "interp") -> None:
+                 fault_plan=None, exec_mode: str = "interp",
+                 reuse_artifact: bool = False) -> None:
         if circuit not in CIRCUITS:
             raise ValueError(f"unknown circuit {circuit!r}; choose from "
                              f"{sorted(CIRCUITS)}")
@@ -186,6 +226,10 @@ class Checker:
         self.lazy_cancellation = lazy_cancellation
         self.max_steps = max_steps
         self.watchdog = watchdog
+        #: Amortize the circuit build: snapshot once, instantiate a
+        #: fresh runtime per schedule instead of rebuilding the design
+        #: for every run of the exploration.
+        self.reuse_artifact = reuse_artifact
         self._oracle: Optional[SimulationResult] = None
         self.oracle_digest = ""
 
@@ -193,6 +237,9 @@ class Checker:
     # Primitive runs
     # ------------------------------------------------------------------
     def _design(self):
+        if self.reuse_artifact:
+            return circuit_artifact(self.circuit, self.circuit_seed,
+                                    self.circuit_params).instantiate()
         return CIRCUITS[self.circuit](self.circuit_seed,
                                       **self.circuit_params)
 
@@ -475,6 +522,7 @@ def check_backend(circuit: str, backend: str, protocol: str,
                   until: Optional[int] = None,
                   circuit_params: Optional[Dict] = None,
                   exec_mode: str = "interp",
+                  reuse_artifact: bool = False,
                   **backend_kwargs) -> RunReport:
     """Differential oracle for the *real* backends (threads / procs).
 
@@ -492,8 +540,14 @@ def check_backend(circuit: str, backend: str, protocol: str,
     success; ``decisions``/``ncands`` are empty (no controlled
     schedule exists for a real run).
     """
-    oracle = simulate(build_circuit(circuit, circuit_seed,
-                                    circuit_params), until=until)
+    if reuse_artifact:
+        artifact = circuit_artifact(circuit, circuit_seed,
+                                    circuit_params)
+        fresh = artifact.instantiate
+    else:
+        def fresh():
+            return build_circuit(circuit, circuit_seed, circuit_params)
+    oracle = simulate(fresh(), until=until)
     oracle_digest = wave_digest(oracle)
     label = f"{backend}/{protocol}/{exec_mode}"
     violations: List[str] = []
@@ -501,8 +555,7 @@ def check_backend(circuit: str, backend: str, protocol: str,
     result: Optional[SimulationResult] = None
     try:
         result = simulate_parallel(
-            build_circuit(circuit, circuit_seed, circuit_params),
-            processors, until=until,
+            fresh(), processors, until=until,
             protocol=protocol, backend=backend, exec_mode=exec_mode,
             **backend_kwargs)
     except ProtocolError as failure:

@@ -39,6 +39,32 @@ from ..core.vtime import VirtualTime
 from .engine import LPRuntime
 
 
+def resolve_model(design_or_model):
+    """Accept a Model, a Design, or a DesignArtifact; return a Model.
+
+    Every backend entry point funnels through this, so callers can hand
+    any representation of an elaborated design to any machine:
+
+    * a :class:`~repro.vhdl.artifact.DesignArtifact` is instantiated
+      into a *fresh* runtime (``instantiate_model()``) — artifacts are
+      immutable and reusable, so this is the re-runnable path;
+    * a :class:`~repro.vhdl.design.Design` is elaborated (single-use:
+      a second run of the same Design raises — snapshot to an artifact
+      to re-run);
+    * a :class:`~repro.core.model.Model` passes through unchanged.
+
+    Duck-typed rather than isinstance-dispatched so the core parallel
+    layer keeps no import dependency on the VHDL front-end.
+    """
+    instantiate = getattr(design_or_model, "instantiate_model", None)
+    if instantiate is not None:
+        return instantiate()
+    elaborate = getattr(design_or_model, "elaborate", None)
+    if elaborate is not None and hasattr(design_or_model, "signals"):
+        return elaborate()
+    return design_or_model
+
+
 def stamp_epoch(runtimes: Dict[int, LPRuntime], event: Event) -> Event:
     """Stamp a send with the sender's conservative-promise epoch.
 

@@ -38,7 +38,7 @@ from ..fabric.plan import FaultPlan
 from ..fabric.transport import PerfectFabric, ReliableFabric
 from ..resilience import (DEFAULT_MODEL_STEPS, StepWatchdog, build_report,
                           resolve_watchdog, surface)
-from .backend import stamp_epoch
+from .backend import resolve_model, stamp_epoch
 from .cost import SHARED_MEMORY, CostModel
 from .engine import AdaptPolicy, LPRuntime, Processor, ProtocolError
 from .partition import PARTITIONERS, Partition
@@ -81,6 +81,7 @@ class ParallelMachine:
                  recovery: Optional[bool] = None,
                  watchdog: Optional[int] = None,
                  tracer=None, scheduler=None) -> None:
+        model = resolve_model(model)
         model.validate()
         if processors < 1:
             raise ValueError("need at least one processor")

@@ -54,18 +54,30 @@ protocols only (optimistic / conservative / mixed); the dynamic mode's
 cross-processor mode sampling has no sound remote implementation
 without extra synchronization.
 
-Requires the ``fork`` start method (workers inherit the built machine;
-nothing but events, tokens and final states ever crosses a pickle
-boundary).
+**Start methods.**  Under ``fork`` workers inherit the pre-built
+machine and nothing but events, tokens and final states ever crosses a
+pickle boundary.  Under ``spawn``/``forkserver`` each worker instead
+receives a :class:`_WorkerSpec` — the *pristine* pickled model
+(snapshotted before the inner machine seeds init events) plus the
+machine parameters — and deterministically rebuilds its own machine
+locally: same model, same partition spec, same placement, same seeded
+queues as every sibling.  This is the artifact discipline of
+:mod:`repro.vhdl.artifact` applied at the worker boundary, and it is
+what a future multi-host backend ships over the wire.  The method is
+chosen by the ``start_method`` parameter, then the
+``REPRO_PROCS_START`` environment variable, then ``fork`` when the
+platform offers it, else ``spawn``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
 import queue as queue_module
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.event import Event
 from ..core.model import Model
@@ -76,7 +88,8 @@ from ..fabric.plan import FaultPlan
 from ..fabric.recovery import checkpoint_processor, restore_processor
 from ..resilience import (DEFAULT_WALL_S, WallClockWatchdog, build_report,
                           resolve_watchdog)
-from .backend import BackendOutcome, proc_has_work, stamp_epoch
+from .backend import (BackendOutcome, proc_has_work, resolve_model,
+                      stamp_epoch)
 from .cost import SHARED_MEMORY
 from .engine import Processor, ProtocolError
 from .machine import ParallelMachine
@@ -91,6 +104,82 @@ class ProcsOutcome(BackendOutcome):
     waves: int = 0
     #: Wall-clock duration of the run, workers live to joined.
     wall_time_s: float = 0.0
+
+
+#: Environment override for the worker start method.
+START_ENV = "REPRO_PROCS_START"
+
+
+def resolve_start_method(start_method: Optional[str] = None) -> str:
+    """Pick the multiprocessing start method for the procs backend.
+
+    Explicit argument > ``REPRO_PROCS_START`` env var > ``fork`` when
+    the platform offers it (cheapest: no model pickling) > ``spawn``.
+    """
+    if start_method is None:
+        start_method = os.environ.get(START_ENV) or None
+    available = multiprocessing.get_all_start_methods()
+    if start_method is None:
+        return "fork" if "fork" in available else "spawn"
+    if start_method not in available:
+        raise ValueError(
+            f"start method {start_method!r} not available on this "
+            f"platform (have: {available})")
+    return start_method
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything a spawned worker needs to rebuild its machine.
+
+    ``model_payload`` is the pristine model pickled *before* the
+    parent's inner machine seeded init events, so the child's build —
+    same parameters, same deterministic partitioner — reproduces the
+    exact machine a forked worker would have inherited.
+    """
+
+    model_payload: bytes
+    processors: int
+    protocol: str
+    partition: Any
+    until: Optional[int]
+    quantum: int
+    fault_plan: Optional[FaultPlan]
+    recovery: bool
+    watchdog_s: Optional[float] = None
+    timeout_s: float = 120.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def _spawn_worker(spec: _WorkerSpec, index: int, queues: list,
+                  result_queue) -> None:
+    """Spawn-mode worker entry point (module-level: picklable by ref).
+
+    Rebuilds the machine from the spec, wires in the parent-created
+    queues, and runs the standard worker loop — from here on the two
+    start methods are indistinguishable.
+    """
+    try:
+        model = pickle.loads(spec.model_payload)
+        machine = ProcsMachine(
+            model, spec.processors, protocol=spec.protocol,
+            partition=spec.partition, until=spec.until,
+            quantum=spec.quantum, fault_plan=spec.fault_plan,
+            recovery=spec.recovery, watchdog_s=spec.watchdog_s,
+            _snapshot=False)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+        try:
+            result_queue.put(("error", index,
+                              f"worker rebuild failed: "
+                              f"{type(exc).__name__}: {exc}",
+                              RunStats(), None))
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+        return
+    machine._queues = queues
+    machine._result_queue = result_queue
+    machine._timeout_s = spec.timeout_s
+    machine._worker_main(index)
 
 
 def _fresh_token(wave: int, commit: Optional[VirtualTime],
@@ -120,17 +209,16 @@ class ProcsMachine:
                  quantum: int = 64,
                  fault_plan: Optional[FaultPlan] = None,
                  recovery: Optional[bool] = None,
-                 watchdog_s: Optional[float] = None) -> None:
+                 watchdog_s: Optional[float] = None,
+                 start_method: Optional[str] = None,
+                 _snapshot: bool = True) -> None:
         if protocol == "dynamic":
             raise ValueError(
                 "the procs backend supports static protocols only; "
                 "use the modelled machine for the dynamic configuration")
         if quantum < 1:
             raise ValueError("quantum must be >= 1")
-        if "fork" not in multiprocessing.get_all_start_methods():
-            raise RuntimeError(
-                "the procs backend needs the 'fork' start method "
-                "(workers inherit the pre-built machine)")
+        model = resolve_model(model)
         model.validate()
         self.model = model
         self.until = until
@@ -146,12 +234,43 @@ class ProcsMachine:
             fault_plan.crashes) if fault_plan is not None else []
         if self._crash_schedule and not self.recovery:
             raise ValueError("a crash schedule requires recovery=True")
-        # Build processors exactly like the other real backend; workers
-        # inherit the fully seeded machine through fork.
+        self.start_method = resolve_start_method(start_method)
+        self._watchdog_s = watchdog_s
+        self._spawn_payload: Optional[bytes] = None
+        if _snapshot and self.start_method != "fork":
+            # Snapshot the *pristine* model before the inner machine
+            # build mutates it (init-event seeding): spawned workers
+            # rebuild from this payload and must reproduce exactly the
+            # state a forked worker would inherit.
+            try:
+                pickle.dumps(partition,
+                             protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as failure:
+                raise ValueError(
+                    f"the {self.start_method!r} start method cannot "
+                    f"ship this partition to workers ({failure}); use "
+                    f"a named partitioner, a placement dict, a module-"
+                    f"level partitioner function, or "
+                    f"start_method='fork'") from failure
+            try:
+                self._spawn_payload = pickle.dumps(
+                    model, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as failure:
+                raise RuntimeError(
+                    f"model is not picklable ({failure}), which the "
+                    f"{self.start_method!r} start method requires; "
+                    f"make process bodies module-level callables (see "
+                    f"repro.circuits.bodies) or use "
+                    f"start_method='fork'") from failure
+        self._partition_spec = partition
+        # Build processors exactly like the other real backend; under
+        # fork workers inherit the fully seeded machine, under spawn
+        # they rebuild it from the pristine payload.
         inner = ParallelMachine(model, processors, protocol=protocol,
                                 cost=SHARED_MEMORY, partition=partition,
                                 until=until)
         self._inner = inner
+        self.protocol = protocol
         self.processors = processors
         self.watchdog_bound = float(
             resolve_watchdog(watchdog_s, DEFAULT_WALL_S))
@@ -164,16 +283,35 @@ class ProcsMachine:
             raise ValueError("timeout_s must be positive")
         start = time.monotonic()
         grace = max(0.5, min(5.0, timeout_s / 10.0))
-        ctx = multiprocessing.get_context("fork")
+        ctx = multiprocessing.get_context(self.start_method)
         count = self.processors
-        # Created before fork so every worker inherits every queue.
+        # Under fork: created before the fork so every worker inherits
+        # every queue.  Under spawn: passed explicitly as process
+        # arguments (multiprocessing duplicates the queue handles).
         self._queues = [ctx.Queue() for _ in range(count)]
         self._result_queue = ctx.Queue()
         self._timeout_s = timeout_s
+        if self.start_method == "fork":
+            spec = None
+        else:
+            spec = _WorkerSpec(
+                model_payload=self._spawn_payload,
+                processors=count, protocol=self.protocol,
+                partition=self._partition_spec, until=self.until,
+                quantum=self.quantum, fault_plan=self.plan,
+                recovery=self.recovery, watchdog_s=self._watchdog_s,
+                timeout_s=timeout_s)
         workers = []
         for index in range(count):
-            proc = ctx.Process(target=self._worker_main, args=(index,),
-                               daemon=True)
+            if spec is None:
+                proc = ctx.Process(target=self._worker_main,
+                                   args=(index,), daemon=True)
+            else:
+                proc = ctx.Process(
+                    target=_spawn_worker,
+                    args=(spec, index, self._queues,
+                          self._result_queue),
+                    daemon=True)
             proc.start()
             workers.append(proc)
         results: Dict[int, tuple] = {}
@@ -858,10 +996,12 @@ def run_procs(model: Model, processors: int,
               timeout_s: float = 120.0,
               fault_plan: Optional[FaultPlan] = None,
               recovery: Optional[bool] = None,
-              watchdog_s: Optional[float] = None) -> ProcsOutcome:
+              watchdog_s: Optional[float] = None,
+              start_method: Optional[str] = None) -> ProcsOutcome:
     """Convenience wrapper mirroring :func:`run_threaded`."""
     machine = ProcsMachine(model, processors, protocol=protocol,
                            partition=partition, until=until,
                            quantum=quantum, fault_plan=fault_plan,
-                           recovery=recovery, watchdog_s=watchdog_s)
+                           recovery=recovery, watchdog_s=watchdog_s,
+                           start_method=start_method)
     return machine.run(timeout_s=timeout_s)

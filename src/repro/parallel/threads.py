@@ -35,7 +35,8 @@ from ..fabric.plan import FaultPlan
 from ..fabric.threaded import ThreadedFabric
 from ..resilience import (DEFAULT_WALL_S, WallClockWatchdog, build_report,
                           resolve_watchdog, surface)
-from .backend import BackendOutcome, proc_has_work, stamp_epoch
+from .backend import (BackendOutcome, proc_has_work, resolve_model,
+                      stamp_epoch)
 from .cost import SHARED_MEMORY
 from .engine import Processor, ProtocolError
 from .machine import ParallelMachine
@@ -94,6 +95,7 @@ class ThreadedMachine:
             raise ValueError(
                 "the threaded backend supports static protocols only; "
                 "use the modelled machine for the dynamic configuration")
+        model = resolve_model(model)
         model.validate()
         self.model = model
         self.until = until

@@ -1,0 +1,14 @@
+"""Batched run service: elaborate once, fan out N runs, merge stats.
+
+See :mod:`repro.service.batch` for the data flow and
+``docs/architecture.md`` for where the service sits in the
+artifact/runtime split.
+"""
+
+from .batch import (BatchJob, BatchResult, RunOutcome, RunService,
+                    RunSpec, VhdlJob, run_fleet)
+
+__all__ = [
+    "BatchJob", "BatchResult", "RunOutcome", "RunService", "RunSpec",
+    "VhdlJob", "run_fleet",
+]

@@ -1,5 +1,8 @@
 """The distributed VHDL kernel: values, signals, processes, designs."""
 
+from .artifact import (ArtifactError, DesignArtifact, artifact_key,
+                       build_artifact, snapshot_design)
+from .cache import ElabCache, cached_elaborate
 from .compile import CompiledBody, Frame, lower_design
 from .design import Design
 from .kernel import (EXEC_MODES, SimulationResult, simulate,
@@ -14,6 +17,8 @@ from .values import (SL_0, SL_1, SL_DASH, SL_H, SL_L, SL_U, SL_W, SL_X,
 
 __all__ = [
     "Design", "SimulationResult", "simulate", "simulate_parallel",
+    "ArtifactError", "DesignArtifact", "artifact_key", "build_artifact",
+    "snapshot_design", "ElabCache", "cached_elaborate",
     "CompiledBody", "Frame", "lower_design", "EXEC_MODES",
     "ClockedBody", "ClockGeneratorBody", "CombinationalBody",
     "GeneratorBody", "ProcessAPI", "ProcessBody", "ProcessLP", "Wait",

@@ -129,7 +129,21 @@ class Design:
     # Elaboration & queries
     # ------------------------------------------------------------------
     def elaborate(self) -> Model:
-        """Finalize the design; validates wiring and returns the model."""
+        """Finalize the design; validates wiring and returns the model.
+
+        Single-use: elaboration hands the mutable LP graph to an
+        engine, so a second ``elaborate()`` on the same ``Design``
+        would silently reuse mutated LP state (stale projected
+        waveforms, consumed generator bodies).  Re-running a design
+        means re-instantiating it — snapshot it with
+        :meth:`artifact` and call ``instantiate()`` per run.
+        """
+        if self._elaborated:
+            raise RuntimeError(
+                f"design {self.name!r} was already elaborated; a Design "
+                f"carries mutable LP state and is single-use.  Snapshot "
+                f"it with design.artifact() and instantiate() a fresh "
+                f"runtime per run.")
         for signal in self.signals:
             if not signal.drivers and signal.readers:
                 # A read-only signal simply keeps its initial value; that
@@ -138,6 +152,20 @@ class Design:
         self.model.validate()
         self._elaborated = True
         return self.model
+
+    def artifact(self, content_hash: Optional[str] = None,
+                 meta: Optional[Dict[str, Any]] = None):
+        """Snapshot this design into an immutable, picklable
+        :class:`~repro.vhdl.artifact.DesignArtifact`.
+
+        The artifact content-addresses the LP graph (structural
+        manifest hash unless ``content_hash`` is given) and its
+        ``instantiate()`` yields a fresh mutable runtime per run —
+        the supported way to simulate one design many times.
+        """
+        from .artifact import DesignArtifact
+        return DesignArtifact.from_design(self, content_hash=content_hash,
+                                          meta=meta)
 
     def __getitem__(self, name: str):
         return self._by_name[name]

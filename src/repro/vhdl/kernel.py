@@ -59,13 +59,25 @@ def _collect(design: Design, stats: RunStats,
                             processors=processors)
 
 
-def _claim(design: Design) -> None:
-    """A Design carries mutable LP state, so it is single-use."""
+def _claim(design) -> Design:
+    """Claim a single-use runtime for this run.
+
+    A :class:`~repro.vhdl.artifact.DesignArtifact` is immutable and
+    reusable: every call instantiates a *fresh* Design, so the same
+    artifact may be simulated any number of times.  A plain ``Design``
+    carries mutable LP state and is single-use — a second run raises
+    (snapshot to an artifact via ``design.artifact()`` to re-run).
+    """
+    if hasattr(design, "instantiate") and hasattr(design, "content_hash"):
+        design = design.instantiate()
     if getattr(design, "_simulated", False):
         raise RuntimeError(
-            f"design {design.name!r} was already simulated; build a fresh "
-            f"Design per run (LP state is mutated by simulation)")
+            f"design {design.name!r} was already simulated; a Design is "
+            f"single-use (LP state is mutated by simulation).  Snapshot "
+            f"it with design.artifact() and instantiate() a fresh "
+            f"runtime per run, or rebuild the Design.")
     design._simulated = True
+    return design
 
 
 #: Process execution modes selectable by :func:`simulate` and
@@ -89,7 +101,7 @@ def _lower(design: Design, exec_mode: str) -> None:
         lower_design(design)
 
 
-def simulate(design: Design, until: Optional[int] = None,
+def simulate(design, until: Optional[int] = None,
              max_events: Optional[int] = None,
              shuffle_ties=None, exec_mode: str = "interp") -> SimulationResult:
     """Run ``design`` on the sequential reference engine.
@@ -99,8 +111,12 @@ def simulate(design: Design, until: Optional[int] = None,
     results must not depend on it; see the property tests).
     ``exec_mode`` selects interpreted or compiled process bodies (see
     :data:`EXEC_MODES`); both commit bit-identical results.
+
+    ``design`` may also be a :class:`~repro.vhdl.artifact.DesignArtifact`
+    — a fresh runtime is instantiated per call, so artifacts are
+    re-runnable.
     """
-    _claim(design)
+    design = _claim(design)
     _lower(design, exec_mode)
     model = design.elaborate()
     sim = SequentialSimulator(model, shuffle_ties=shuffle_ties)
@@ -112,7 +128,7 @@ def simulate(design: Design, until: Optional[int] = None,
 BACKENDS = ("model", "threads", "procs")
 
 
-def simulate_parallel(design: Design, processors: int,
+def simulate_parallel(design, processors: int,
                       until: Optional[int] = None,
                       protocol: str = "dynamic",
                       backend: str = "model",
@@ -145,11 +161,18 @@ def simulate_parallel(design: Design, processors: int,
     clock) is meaningful.  ``exec_mode`` selects interpreted or
     compiled process bodies (see :data:`EXEC_MODES`); compiled frames
     are picklable, so rollback and procs checkpointing work unchanged.
+
+    ``design`` may also be a :class:`~repro.vhdl.artifact.DesignArtifact`
+    (a fresh runtime is instantiated per call).  On the procs backend
+    ``start_method="fork"|"spawn"|"forkserver"`` (via
+    ``machine_kwargs``) selects how workers are started; under spawn
+    the workers rebuild their machines from the pickled pristine
+    model instead of fork-inheriting it.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; pick from "
                          f"{BACKENDS}")
-    _claim(design)
+    design = _claim(design)
     _lower(design, exec_mode)
     model = design.elaborate()
     if backend == "model":

@@ -24,7 +24,8 @@ import pytest
 from repro.circuits import build_dct, build_fsm, build_iir, build_random
 from repro.fabric.plan import FaultPlan
 from repro.parallel.engine import ProtocolError
-from repro.parallel.procs import ProcsMachine, run_procs
+from repro.parallel.procs import (START_ENV, ProcsMachine,
+                                  resolve_start_method, run_procs)
 from repro.vhdl import simulate
 
 RUN_BUDGET_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
@@ -32,6 +33,10 @@ RUN_BUDGET_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
 needs_fork = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
     reason="procs backend requires the fork start method")
+
+needs_spawn = pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="platform does not offer the spawn start method")
 
 
 def run_with_budget(model, processors, protocol, **kwargs):
@@ -128,6 +133,77 @@ def test_procs_crash_schedule_requires_recovery():
     with pytest.raises(ValueError):
         ProcsMachine(model, 2, protocol="optimistic", fault_plan=plan,
                      recovery=False)
+
+
+# ---------------------------------------------------------------------------
+# Spawn start method: workers rebuild from the pickled pristine model.
+# ---------------------------------------------------------------------------
+def test_start_method_resolution(monkeypatch):
+    """Explicit argument > REPRO_PROCS_START env > platform default."""
+    monkeypatch.delenv(START_ENV, raising=False)
+    available = multiprocessing.get_all_start_methods()
+    default = resolve_start_method()
+    assert default == ("fork" if "fork" in available else "spawn")
+    assert resolve_start_method("spawn") == "spawn"
+    monkeypatch.setenv(START_ENV, "spawn")
+    assert resolve_start_method() == "spawn"
+    assert resolve_start_method(default) == default  # arg wins
+    with pytest.raises(ValueError):
+        resolve_start_method("warp-drive")
+
+
+@needs_spawn
+def test_procs_spawn_fsm_matches_sequential():
+    """The acceptance run: differential conformance without fork.
+
+    Workers receive the pristine pickled model plus the machine
+    parameters and rebuild locally; committed waves must still be
+    byte-identical to the sequential oracle.
+    """
+    outcome = assert_matches_sequential(
+        lambda: build_fsm(cells=4, cycles=4), "optimistic",
+        start_method="spawn")
+    assert outcome.stats.ipc_batches >= 1
+
+
+@needs_spawn
+def test_procs_spawn_env_override(monkeypatch):
+    monkeypatch.setenv(START_ENV, "spawn")
+    assert_matches_sequential(
+        lambda: build_fsm(cells=4, cycles=4), "conservative",
+        processors=2)
+
+
+@needs_spawn
+def test_spawn_rejects_unpicklable_partition():
+    """A bare callable partition cannot cross a spawn boundary; the
+    machine must say so at construction, not hang in a worker."""
+    model = build_fsm(cells=4, cycles=4).design.elaborate()
+    with pytest.raises(ValueError, match="partition"):
+        ProcsMachine(model, 2, protocol="optimistic",
+                     start_method="spawn",
+                     partition=lambda m, p: [0] * len(m))
+
+
+@needs_spawn
+@pytest.mark.slow
+@pytest.mark.parametrize("protocol", ["optimistic", "conservative",
+                                      "mixed"])
+def test_procs_spawn_protocol_matrix(protocol):
+    assert_matches_sequential(
+        lambda: build_fsm(cells=4, cycles=4), protocol,
+        start_method="spawn")
+
+
+@needs_spawn
+@pytest.mark.slow
+def test_procs_spawn_fault_plan():
+    outcome = assert_matches_sequential(
+        lambda: build_fsm(cells=4, cycles=4), "optimistic",
+        start_method="spawn",
+        fault_plan=FaultPlan(drop=0.08, duplicate=0.05, reorder=0.08,
+                             seed=7))
+    assert outcome.stats.dropped > 0
 
 
 # ---------------------------------------------------------------------------
