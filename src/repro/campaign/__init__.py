@@ -34,13 +34,15 @@ Modules:
 * :mod:`~repro.campaign.corpus` — the on-disk artifact corpus.
 """
 
-from .axes import (ALL_AXES, BACKEND_PROTOCOLS, Scenario, ScenarioSpace)
+from .axes import (ALL_AXES, BACKEND_PROTOCOLS, OPT_IN_BACKENDS,
+                   Scenario, ScenarioSpace)
 from .corpus import Corpus
 from .runner import Campaign, CampaignSummary, ScenarioOutcome, run_scenario
 from .triage import FailureSignature, classify, normalize_violation
 
 __all__ = [
-    "ALL_AXES", "BACKEND_PROTOCOLS", "Scenario", "ScenarioSpace",
+    "ALL_AXES", "BACKEND_PROTOCOLS", "OPT_IN_BACKENDS",
+    "Scenario", "ScenarioSpace",
     "Corpus",
     "Campaign", "CampaignSummary", "ScenarioOutcome", "run_scenario",
     "FailureSignature", "classify", "normalize_violation",

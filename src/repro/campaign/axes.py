@@ -31,7 +31,14 @@ BACKEND_PROTOCOLS: Dict[str, Tuple[str, ...]] = {
     "model": ("optimistic", "conservative", "mixed", "dynamic"),
     "threads": ("optimistic", "conservative", "mixed"),
     "procs": ("optimistic", "conservative", "mixed"),
+    "dist": ("optimistic", "conservative", "mixed"),
 }
+
+#: Backends excluded from the default campaign mix.  The dist backend
+#: spawns TCP worker daemons per scenario — far too slow for tier-1
+#: fuzzing — so it only runs when named explicitly
+#: (``repro fuzz --backends dist``).
+OPT_IN_BACKENDS: Tuple[str, ...] = ("dist",)
 
 #: Toggleable scenario axes (beyond the always-on backend × protocol
 #: grid).  ``--axes`` on the CLI enables a subset.  ``"exec"`` adds
@@ -46,6 +53,9 @@ ALL_AXES: Tuple[str, ...] = ("topology", "faults", "schedules", "lazy",
 #: schedules, so it gets the bulk of the budget.
 BACKEND_WEIGHTS: Dict[str, float] = {
     "model": 0.8, "threads": 0.1, "procs": 0.1,
+    # Opt-in only (see OPT_IN_BACKENDS); when explicitly selected it
+    # shares the real-backend share of the budget.
+    "dist": 0.1,
 }
 
 #: Livelock guard for campaign runs.  Deliberately tighter than the
@@ -157,7 +167,7 @@ class ScenarioSpace:
                  processors: Sequence[int] = (2, 3)) -> None:
         self.seed = seed
         self.backends = tuple(backends) if backends else tuple(
-            BACKEND_PROTOCOLS)
+            b for b in BACKEND_PROTOCOLS if b not in OPT_IN_BACKENDS)
         for backend in self.backends:
             if backend not in BACKEND_PROTOCOLS:
                 raise ValueError(f"unknown backend {backend!r}; choose "

@@ -6,6 +6,7 @@ from .fsm import FsmCircuit, build_fsm, reference_taps
 from .gates import Netlist, bus_finals, bus_value
 from .iir import IirCircuit, build_iir, reference_response
 from .random_logic import RandomCircuit, build_random
+from .weighted import build_pipeline_bank
 from .vhdl_text import (build_fsm_from_vhdl, build_iir_from_vhdl,
                         build_random_behavioral, fsm_vhdl, iir_vhdl,
                         iir_vhdl_reference, random_behavioral_vhdl)
@@ -17,6 +18,7 @@ __all__ = [
     "IirCircuit", "build_iir", "reference_response",
     "DctCircuit", "build_dct", "reference_product",
     "RandomCircuit", "build_random",
+    "build_pipeline_bank",
     "fsm_vhdl", "build_fsm_from_vhdl",
     "iir_vhdl", "build_iir_from_vhdl", "iir_vhdl_reference",
     "random_behavioral_vhdl", "build_random_behavioral",

@@ -1,0 +1,92 @@
+"""Cost-weighted pipeline banks for wall-clock backend benchmarks.
+
+The paper's circuits are *fine-grained*: an event body costs less than
+the protocol bookkeeping around it, which is the honest regime for
+protocol studies but hides what the real-concurrency backends exist
+for.  This module builds a bank of independent pipelines whose stage
+bodies carry a configurable **latency weight** — a blocking wait
+standing in for external model evaluation (an IP-block server, a
+disk-backed model, an RPC federate a la HLA).  Blocking releases the
+GIL, so every backend can overlap it; how close each one gets to the
+ideal ``min(workers, chains)x`` is exactly what the wall-clock
+benchmarks measure.
+
+Unlike the closure-built circuits in ``benchmarks/``, every callable
+here is a module-level class instance, so the resulting model
+**pickles by reference** — it can ship to multiprocess workers under
+the ``spawn`` start method and across the distributed backend's TCP
+wire, where worker daemons unpickle it in a fresh interpreter that
+only has the installed package on its path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.event import EventKind
+from ..core.lp import FunctionLP
+from ..core.model import Model
+from ..core.vtime import VirtualTime
+
+__all__ = ["build_pipeline_bank", "PipelineSource", "WeightedStage"]
+
+
+@dataclass
+class PipelineSource:
+    """Injects ``events`` stimulus events into the first stage."""
+
+    target: int
+    events: int
+
+    def __call__(self, lp, event) -> None:  # pragma: no cover - no input
+        pass
+
+    def on_init(self, lp) -> None:
+        for k in range(self.events):
+            lp.send(self.target, VirtualTime(10 + 10 * k, 0),
+                    EventKind.USER, k)
+
+
+@dataclass
+class WeightedStage:
+    """One pipeline stage: block ``wait_s`` then forward downstream."""
+
+    wait_s: float
+    nxt: Optional[int]
+
+    def __call__(self, lp, event) -> None:
+        if self.wait_s > 0.0:
+            time.sleep(self.wait_s)
+        if self.nxt is not None:
+            lp.send(self.nxt, VirtualTime(event.time.pt + 10, 0),
+                    EventKind.USER, event.payload)
+
+
+def build_pipeline_bank(chains: int = 4, stages: int = 3,
+                        events: int = 50,
+                        wait_s: float = 0.002) -> Model:
+    """A bank of ``chains`` independent ``stages``-deep pipelines.
+
+    Each stage event blocks for ``wait_s`` seconds (0 disables the
+    weight, leaving a pure fine-grained message pipeline).  Total
+    weighted events: ``chains * stages * events``.
+    """
+    model = Model()
+    for chain in range(chains):
+        base = chain * (stages + 1)
+        feeder = PipelineSource(base + 1, events)
+        source = FunctionLP(f"src{chain}", feeder,
+                            on_init=feeder.on_init)
+        model.add_lp(source)
+        previous = source
+        for stage in range(stages):
+            nxt = None if stage == stages - 1 else base + stage + 2
+            stage_lp = FunctionLP(f"c{chain}s{stage}",
+                                  WeightedStage(wait_s, nxt))
+            model.add_lp(stage_lp)
+            model.connect(previous, stage_lp)
+            previous = stage_lp
+    model.validate()
+    return model

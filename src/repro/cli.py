@@ -181,10 +181,12 @@ def cmd_parallel(args) -> int:
             extra["watchdog_s"] = args.watchdog
     elif args.watchdog is not None:
         extra["watchdog"] = int(args.watchdog)
-    if backend == "procs":
+    if backend in ("procs", "dist"):
         extra["quantum"] = args.quantum
-        if args.start_method is not None:
-            extra["start_method"] = args.start_method
+    if backend == "procs" and args.start_method is not None:
+        extra["start_method"] = args.start_method
+    if backend == "dist" and args.hosts:
+        extra["hosts"] = args.hosts
     try:
         result = simulate_parallel(design, processors=args.processors,
                                    protocol=args.protocol,
@@ -217,14 +219,24 @@ def cmd_parallel(args) -> int:
     print(f"  antimessages      : {stats.antimessages}")
     print(f"  deadlock recovery : {stats.deadlock_recoveries} rounds")
     print(f"  mode switches     : {stats.mode_switches}")
-    if backend == "procs":
+    if backend in ("procs", "dist"):
         print(f"  batched IPC       : {stats.ipc_summary()}")
+    if backend == "dist":
+        print(f"  network           : {stats.net_summary()}")
     if plan is not None:
         print(f"  fault plan        : {plan.describe()}")
         print(f"  fabric            : {stats.fabric_summary()}")
     if args.vcd:
         write_vcd(result, args.vcd)
         print(f"waveforms written to {args.vcd}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run a distributed-backend worker daemon until told to exit."""
+    from .parallel.dist import serve
+
+    serve(host=args.host, port=args.port, once=args.once)
     return 0
 
 
@@ -246,6 +258,8 @@ def cmd_check(args) -> int:
         backend_kwargs = {}
         if args.backend == "procs" and args.start_method is not None:
             backend_kwargs["start_method"] = args.start_method
+        if args.backend == "dist" and getattr(args, "hosts", None):
+            backend_kwargs["hosts"] = args.hosts
         failed = False
         for circuit in args.circuit:
             run = check_backend(circuit, backend=args.backend,
@@ -553,16 +567,25 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["optimistic", "conservative", "mixed",
                                     "dynamic"])
         p_par.add_argument("--backend", default="model",
-                           choices=["model", "threads", "procs"],
+                           choices=["model", "threads", "procs", "dist"],
                            help="execution backend: the deterministic "
-                                "modelled multiprocessor, OS threads, or "
+                                "modelled multiprocessor, OS threads, "
                                 "real multiprocessing workers with "
-                                "batched IPC + token-ring GVT")
+                                "batched IPC + token-ring GVT, or "
+                                "distributed TCP workers (same ring "
+                                "over asyncio; see 'repro serve')")
         p_par.add_argument("--partition", default="round_robin",
                            choices=["round_robin", "block", "bfs"])
         p_par.add_argument("--quantum", type=int, default=64,
                            help="events per act-quantum between IPC "
-                                "flushes (threads/procs backends)")
+                                "flushes (threads/procs/dist backends)")
+        p_par.add_argument("--hosts", nargs="+", default=None,
+                           metavar="HOST:PORT",
+                           help="dist backend: pre-started 'repro "
+                                "serve' daemons to use, one per "
+                                "worker in index order; workers "
+                                "beyond the list are auto-spawned "
+                                "on localhost")
         p_par.add_argument("--start-method", default=None,
                            choices=["fork", "spawn", "forkserver"],
                            help="procs-backend worker start method "
@@ -598,6 +621,24 @@ def build_parser() -> argparse.ArgumentParser:
         _add_exec_arg(p_par)
         p_par.set_defaults(handler=cmd_parallel)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="host distributed-backend workers on this machine "
+             "(dist backend; trusted networks only — frames are "
+             "pickles)")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: loopback; "
+                            "bind a LAN address for remote "
+                            "coordinators)")
+    p_srv.add_argument("--port", type=int, default=7421,
+                       help="TCP port; 0 picks an ephemeral port, "
+                            "announced as 'REPRO-DIST-WORKER PORT=N' "
+                            "on stdout")
+    p_srv.add_argument("--once", action="store_true",
+                       help="exit after serving one coordinator run "
+                            "(used by the auto-spawn path)")
+    p_srv.set_defaults(handler=cmd_serve)
+
     p_chk = sub.add_parser(
         "check",
         help="conformance-check the protocol over explored schedules")
@@ -617,11 +658,17 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["optimistic", "conservative", "mixed",
                                 "dynamic"])
     p_chk.add_argument("--backend", default="model",
-                       choices=["model", "threads", "procs"],
+                       choices=["model", "threads", "procs", "dist"],
                        help="'model' explores controlled schedules; "
-                            "'threads'/'procs' run the differential "
-                            "oracle against a real parallel run "
-                            "(OS-chosen interleaving)")
+                            "'threads'/'procs'/'dist' run the "
+                            "differential oracle against a real "
+                            "parallel run (OS-chosen interleaving; "
+                            "'dist' spans TCP worker processes)")
+    p_chk.add_argument("--hosts", nargs="+", default=None,
+                       metavar="HOST:PORT",
+                       help="dist backend: pre-started 'repro serve' "
+                            "daemons (default: auto-spawn localhost "
+                            "workers)")
     p_chk.add_argument("--start-method", default=None,
                        choices=["fork", "spawn", "forkserver"],
                        help="worker start method for --backend procs "
@@ -667,8 +714,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "are shrunk and saved here; known ones "
                              "only counted")
     p_fuzz.add_argument("--backend", nargs="+", default=None,
-                        choices=["model", "threads", "procs"],
-                        help="restrict the backend axis (default: all)")
+                        choices=["model", "threads", "procs", "dist"],
+                        help="restrict the backend axis (default: all "
+                             "in-process backends; dist is opt-in — it "
+                             "spawns TCP worker daemons per scenario)")
     p_fuzz.add_argument("--axes", nargs="+", default=None,
                         choices=list(AXIS_CHOICES),
                         help="scenario axes to vary (default: all)")

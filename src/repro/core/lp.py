@@ -150,6 +150,34 @@ class LogicalProcess:
         for attr, value in snap.items():
             setattr(self, attr, copy.deepcopy(value))
 
+    # ------------------------------------------------------------------
+    # Durable checkpointing (crash recovery)
+    # ------------------------------------------------------------------
+    def durable_state(self) -> Any:
+        """Self-contained image for restoring into a *fresh* process.
+
+        :meth:`snapshot` may be process-relative — it restores into the
+        same live object, so it can lean on state that survives a
+        rollback (``SignalLP`` stores only its history *length*, and
+        ``_seq`` is deliberately live so re-executions mint fresh event
+        ids).  A durable checkpoint shipped to another process (dist
+        kill-recovery) has no live object to lean on: this image must
+        stand alone.  The eid counter rides along as a *floor* — see
+        :meth:`restore_durable`.
+        """
+        return (self.snapshot(), self._seq)
+
+    def restore_durable(self, state: Any) -> None:
+        """Adopt a :meth:`durable_state` image (possibly cross-process).
+
+        ``_seq`` only ever ratchets up: eids the dead incarnation
+        minted are world-visible, and re-minting one would annihilate
+        the wrong message when its antimessage is eventually sent.
+        """
+        snap, seq = state
+        self.restore(snap)
+        self._seq = max(self._seq, seq)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name} #{self.lp_id}>"
 

@@ -96,6 +96,22 @@ class RunStats:
     #: only a subset commits a new GVT, counted in ``gvt_rounds``).
     token_waves: int = 0
 
+    # -- network counters (repro.parallel.dist) ------------------------
+    #: Bytes written to TCP sockets (frames, coordinator + workers).
+    net_bytes_tx: int = 0
+    #: Bytes read from TCP sockets.
+    net_bytes_rx: int = 0
+    #: Successful coordinator↔worker reconnections (each one exercised
+    #: the custody/replay resync path).
+    net_reconnects: int = 0
+    #: Coordinator ping/pong round trips measured.
+    net_rtt_samples: int = 0
+    #: Sum of measured round-trip times, seconds (sum / samples is the
+    #: mean RTT of the run).
+    net_rtt_sum: float = 0.0
+    #: Slowest observed round trip, seconds (max-folded by ``merge``).
+    net_rtt_max: float = 0.0
+
     # -- liveness counters (repro.resilience) --------------------------
     #: Virtual-time surface samples taken (one per observation point:
     #: GVT round on model/threads, token wave on procs).
@@ -160,6 +176,12 @@ class RunStats:
         self.ipc_batches += other.ipc_batches
         self.ipc_events += other.ipc_events
         self.token_waves += other.token_waves
+        self.net_bytes_tx += other.net_bytes_tx
+        self.net_bytes_rx += other.net_bytes_rx
+        self.net_reconnects += other.net_reconnects
+        self.net_rtt_samples += other.net_rtt_samples
+        self.net_rtt_sum += other.net_rtt_sum
+        self.net_rtt_max = max(self.net_rtt_max, other.net_rtt_max)
         self.vt_spread_samples += other.vt_spread_samples
         self.vt_spread_width_sum += other.vt_spread_width_sum
         self.vt_spread_width_max = max(self.vt_spread_width_max,
@@ -193,6 +215,15 @@ class RunStats:
                 f"dedup={self.dedup_dropped} acks={self.acks} "
                 f"crashes={self.crashes} recoveries={self.recoveries} "
                 f"replayed={self.replayed}")
+
+    def net_summary(self) -> str:
+        """One-line digest of the distributed-backend network counters."""
+        mean_ms = (1e3 * self.net_rtt_sum / self.net_rtt_samples
+                   if self.net_rtt_samples else 0.0)
+        return (f"tx={self.net_bytes_tx}B rx={self.net_bytes_rx}B "
+                f"reconnects={self.net_reconnects} "
+                f"rtt_mean={mean_ms:.2f}ms "
+                f"rtt_max={1e3 * self.net_rtt_max:.2f}ms")
 
     def summary(self) -> str:
         return (f"committed={self.events_committed} "

@@ -46,6 +46,7 @@ class RuntimeCheckpoint:
     channel_clocks: Dict[int, Tuple[int, VirtualTime]]
     last_null_promise: Dict[int, VirtualTime]
     lazy_pending: List[Any]
+    reuse_pending: List[Any]
     release_floor: VirtualTime
     executed: int
     squashed: int
@@ -98,7 +99,12 @@ def checkpoint_processor(proc) -> ProcessorCheckpoint:
         ckpt.runtimes[lp_id] = RuntimeCheckpoint(
             mode=runtime.mode,
             cons_epoch=runtime.cons_epoch,
-            lp_state=lp.snapshot(),
+            # The *durable* image, not the cheap rollback snapshot: a
+            # checkpoint may be restored in a fresh process (dist
+            # kill-recovery) where process-relative state — SignalLP's
+            # history length, the live eid counter — has no live object
+            # to lean on.
+            lp_state=lp.durable_state(),
             lp_now=lp.now,
             queue=list(runtime.queue),
             cancelled=set(runtime.cancelled),
@@ -108,6 +114,7 @@ def checkpoint_processor(proc) -> ProcessorCheckpoint:
             channel_clocks=dict(runtime.channel_clocks),
             last_null_promise=dict(runtime.last_null_promise),
             lazy_pending=list(runtime.lazy_pending),
+            reuse_pending=list(runtime.reuse_pending),
             release_floor=runtime.release_floor,
             executed=runtime.executed,
             squashed=runtime.squashed,
@@ -142,7 +149,7 @@ def restore_processor(proc, ckpt: ProcessorCheckpoint) -> None:
     for lp_id, image in ckpt.runtimes.items():
         runtime = proc.runtimes[lp_id]
         lp = runtime.lp
-        lp.restore(image.lp_state)
+        lp.restore_durable(image.lp_state)
         lp.now = image.lp_now
         lp._outbox = []
         runtime.mode = image.mode
@@ -156,6 +163,7 @@ def restore_processor(proc, ckpt: ProcessorCheckpoint) -> None:
         runtime.channel_clocks = dict(image.channel_clocks)
         runtime.last_null_promise = dict(image.last_null_promise)
         runtime.lazy_pending = list(image.lazy_pending)
+        runtime.reuse_pending = list(image.reuse_pending)
         runtime.release_floor = image.release_floor
         runtime.executed = image.executed
         runtime.squashed = image.squashed

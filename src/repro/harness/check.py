@@ -524,12 +524,14 @@ def check_backend(circuit: str, backend: str, protocol: str,
                   exec_mode: str = "interp",
                   reuse_artifact: bool = False,
                   **backend_kwargs) -> RunReport:
-    """Differential oracle for the *real* backends (threads / procs).
+    """Differential oracle for the *real* backends (threads / procs /
+    dist).
 
     The schedule-exploration machinery above drives the modelled
-    machine, whose interleavings the harness controls.  The threaded
-    and multiprocess backends schedule for real — the OS picks the
-    interleaving — so the strongest repeatable check is differential:
+    machine, whose interleavings the harness controls.  The threaded,
+    multiprocess and distributed backends schedule for real — the OS
+    (and for dist, the network) picks the interleaving — so the
+    strongest repeatable check is differential:
     run the circuit once on the sequential oracle, once on the real
     backend, and require **byte-identical committed waves** (same
     digest, empty diff).  Every invocation exercises whatever

@@ -1,7 +1,8 @@
 """Modelled multiprocessor, synchronization protocols, partitioning."""
 
-from .backend import BackendOutcome
+from .backend import BackendOutcome, WorkerCore
 from .cost import DISTRIBUTED, SHARED_MEMORY, CostModel
+from .dist import DistMachine, DistOutcome, run_dist, serve
 from .engine import AdaptPolicy, LPRuntime, Processor, ProtocolError
 from .machine import (PROTOCOLS, ParallelMachine, ParallelOutcome,
                       run_parallel)
@@ -11,8 +12,9 @@ from .procs import ProcsMachine, ProcsOutcome, run_procs
 from .threads import ThreadedMachine, ThreadedOutcome, run_threaded
 
 __all__ = [
-    "BackendOutcome",
+    "BackendOutcome", "WorkerCore",
     "CostModel", "SHARED_MEMORY", "DISTRIBUTED",
+    "DistMachine", "DistOutcome", "run_dist", "serve",
     "AdaptPolicy", "LPRuntime", "Processor", "ProtocolError",
     "PROTOCOLS", "ParallelMachine", "ParallelOutcome", "run_parallel",
     "PARTITIONERS", "round_robin", "block", "bfs_blocks", "cut_channels",

@@ -1,6 +1,6 @@
-"""Shared plumbing for the three parallel backends.
+"""Shared plumbing for the parallel backends.
 
-Three backends run the same per-processor engine (:mod:`.engine`):
+Four backends run the same per-processor engine (:mod:`.engine`):
 
 * the **modelled** machine (:mod:`.machine`) — deterministic
   co-simulation in model time, the benchmark instrument;
@@ -8,9 +8,11 @@ Three backends run the same per-processor engine (:mod:`.engine`):
   stop-the-world coordinator, the concurrency demonstration;
 * the **procs** backend (:mod:`.procs`) — real ``multiprocessing``
   worker processes with batched IPC and an asynchronous token-ring GVT,
-  the wall-clock-speedup backend.
+  the wall-clock-speedup backend;
+* the **dist** backend (:mod:`.dist`) — the same worker protocol over
+  an asyncio/TCP transport, so workers run on separate hosts.
 
-They share two protocol obligations that used to be duplicated:
+They share protocol obligations that used to be duplicated:
 
 * **Epoch stamping at send time** (:func:`stamp_epoch`): a message
   leaving a currently-conservative LP is a promise its receiver may
@@ -21,6 +23,13 @@ They share two protocol obligations that used to be duplicated:
   the horizon, undelivered local messages, or withheld lazy
   cancellations.  Both real-concurrency backends evaluate it at their
   global synchronization points (barrier round / token visit).
+* **The whole worker loop** (:class:`WorkerCore`): act quanta, batched
+  flushes, the pipelined Mattern token ring, the cancellation horizon,
+  fabric pump/checkpoint cadence and crash recovery.  The procs and
+  dist backends differ *only* in how an envelope physically reaches a
+  peer, so the loop lives here once, parameterized over three
+  transport hooks (:meth:`WorkerCore._send_envelope`,
+  :meth:`WorkerCore._recv_envelope`, :meth:`WorkerCore._emit_result`).
 
 :class:`BackendOutcome` is the common result shape; the per-backend
 outcome types extend it so callers can treat any backend's stats/GVT
@@ -29,14 +38,18 @@ uniformly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.event import Event
 from ..core.model import SyncMode
 from ..core.stats import RunStats
-from ..core.vtime import VirtualTime
-from .engine import LPRuntime
+from ..core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
+from ..fabric.batched import BatchedEndpoint
+from ..fabric.recovery import checkpoint_processor, restore_processor
+from ..resilience import WallClockWatchdog, build_report
+from .engine import LPRuntime, Processor, ProtocolError
 
 
 def resolve_model(design_or_model):
@@ -110,3 +123,871 @@ class BackendOutcome:
     gvt: VirtualTime
     processors: int
     gvt_rounds: int
+
+
+def fresh_token(wave: int, commit: Optional[VirtualTime],
+                floor: VirtualTime = INFINITY,
+                settled: bool = False) -> dict:
+    """A blank Mattern token for the next wave (see :class:`WorkerCore`)."""
+    return {"wave": wave, "low": INFINITY, "sent": {}, "recv": {},
+            "busy": False, "commit": commit,
+            # Liveness additions (PR 6): "anti_low" accumulates each
+            # worker's min outstanding-cancellation time at its cut;
+            # "floor" carries the committed global cancellation horizon
+            # alongside the GVT commit; "settled" tells workers the
+            # previous wave's channel counts matched exactly (nothing in
+            # flight), letting them prune their anti buckets one wave
+            # earlier; "vt_min"/"vt_max" accumulate the per-LP clock
+            # surface for the Korniss roughness signal.
+            "anti_low": INFINITY, "floor": floor, "settled": settled,
+            "vt_min": None, "vt_max": None}
+
+
+class WorkerCore:
+    """The transport-agnostic worker: one processor on the token ring.
+
+    Everything protocol — the act-quantum loop, batched flushes through
+    an optional :class:`~repro.fabric.batched.BatchedEndpoint`, the
+    pipelined Mattern token-ring GVT with two-cut channel counts, the
+    cancellation horizon, checkpoint cadence and crash recovery — lives
+    here once, shared by the procs and dist backends.  A concrete
+    backend supplies the physical transport:
+
+    * :meth:`_send_envelope` — ship one envelope to a peer worker;
+    * :meth:`_recv_envelope` — next inbound envelope (or ``None``);
+    * :meth:`_emit_result` — deliver a done/error message upstream.
+
+    and sets the run parameters (``processors``, ``quantum``, ``until``,
+    ``plan``, ``recovery``, ``use_fabric``, ``watchdog_bound``,
+    ``backend_name``, ``_crash_schedule``, ``_timeout_s``) before
+    calling :meth:`_run_worker`.
+
+    **Envelope format.**  Counted envelopes — anything that enters the
+    ring's per-channel send/receive counts, i.e. everything except the
+    token and the stop — travel wrapped as ``("c", src, n, inner)``
+    where ``n`` is the sender's cumulative count for that channel.  On
+    a lossless transport (multiprocessing queues) the stamp is
+    redundant: FIFO delivery makes the receiver's max-update identical
+    to counting arrivals.  On a lossy transport (a dropped TCP
+    connection) it is what keeps the two-cut argument honest: a lost
+    envelope leaves a count *gap*, not a permanently frozen deficit —
+    the next envelope on the channel (a fabric retransmission, a
+    regenerated ack, a recovery notice) raises the receiver's count to
+    the sender's, and the channel can settle again.  The lost *content*
+    is recovered by the fabric layer (unacked map + token-driven pump;
+    acks are regenerated on dedup re-receipt), never by the stamp.
+    """
+
+    # -- transport hooks (concrete backends override) -------------------
+    def _send_envelope(self, target: int, envelope: tuple) -> None:
+        raise NotImplementedError
+
+    def _recv_envelope(self, block_s: float):
+        """Next inbound envelope; ``None`` on timeout/empty."""
+        raise NotImplementedError
+
+    def _emit_result(self, message: tuple) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _setup_worker(self, index: int, proc: Processor,
+                      runtimes: Dict[int, LPRuntime],
+                      placement: Dict[int, int]) -> None:
+        self._index = index
+        self._proc = proc
+        self._runtimes = runtimes
+        self._placement = placement
+        self._net = RunStats()        # transport counters (crash-durable)
+        self._outbox: Dict[int, List[Event]] = {
+            i: [] for i in range(self.processors) if i != index}
+        self._sent_to: Dict[int, int] = {}
+        self._recv_from: Dict[int, int] = {}
+        self._send_min: VirtualTime = INFINITY
+        self._progressed = False
+        self._gvt: VirtualTime = MINUS_INFINITY
+        self._held_token: Optional[dict] = None
+        self._completed_token: Optional[dict] = None
+        self._last_token_out: Optional[dict] = None
+        self._stop_info: Optional[tuple] = None
+        self._ckpt = None
+        self._ckpt_marks: Tuple[Dict[int, int], Dict[int, int]] = ({}, {})
+        # Cancellation-horizon bookkeeping (see docs/protocol.md):
+        # antimessages this worker routed, bucketed by the token wave
+        # period they were sent in; buckets are pruned once the ring's
+        # two-cut argument proves delivery.  ``_floor_committed`` is the
+        # last global horizon that rode in with a GVT commit.
+        self._anti_mins: Dict[int, VirtualTime] = {}
+        self._cut_wave = -1
+        self._floor_committed: VirtualTime = INFINITY
+        self._watchdog = WallClockWatchdog(self.watchdog_bound)
+        self._stall_report = None
+        # Waves the initiator must sit out after a fresh-process restore
+        # (dist kill-recovery): the checkpoint-old `_prev_sent` baseline
+        # is too weak to anchor the two-cut argument, so wave one runs
+        # invalid/unsettled and wave two re-bases the counts.
+        self._revalidate = 0
+        self._max_stale_resent = -1
+        self.endpoint: Optional[BatchedEndpoint] = (
+            BatchedEndpoint(self.plan, index) if self.use_fabric else None)
+        if index == 0:
+            # Initiator state: a sentinel "completed wave -1" primes the
+            # ring (busy, nothing sent, nothing committable).
+            self._completed_token = {"wave": -1, "low": INFINITY,
+                                     "sent": {}, "recv": {},
+                                     "busy": True, "commit": None}
+            self._prev_sent: Dict[tuple, int] = {}
+            self._gvt_committed: VirtualTime = MINUS_INFINITY
+            self._commits = 0
+            self._last_completed_wave = -1
+
+    def _run_worker(self, index: int, proc: Processor,
+                    runtimes: Dict[int, LPRuntime],
+                    placement: Dict[int, int],
+                    restore: Optional[tuple] = None) -> None:
+        self._setup_worker(index, proc, runtimes, placement)
+        try:
+            self._install_route()
+            if restore is not None:
+                image, tail, recv_marks = restore
+                self._restore_incarnation(image, tail, recv_marks)
+            elif self.recovery:
+                self._take_checkpoint()
+            self._worker_loop()
+            self._report_done()
+        except BaseException as exc:  # noqa: BLE001 - forwarded upstream
+            partial = RunStats()
+            try:
+                self._net.watchdog_probes += self._watchdog.probes
+                partial.merge(self._proc.stats)
+                if self.endpoint is not None:
+                    partial.merge(self.endpoint.stats)
+                partial.merge(self._net)
+            except Exception:  # pragma: no cover - diagnostics only
+                pass
+            try:
+                self._emit_result(
+                    ("error", index, f"{type(exc).__name__}: {exc}",
+                     partial, self._stall_report))
+            except Exception:  # pragma: no cover - transport broken
+                pass
+
+    def _install_route(self) -> None:
+        proc = self._proc
+        runtimes = self._runtimes
+        placement = self._placement
+        outbox = self._outbox
+        index = self._index
+
+        def route(event: Event) -> None:
+            event = stamp_epoch(runtimes, event)
+            target = placement[event.dst]
+            if target == index:
+                proc.local_fifo.append(event)
+            else:
+                outbox[target].append(event)
+
+        proc.route = route
+        # Override the hook the inner ParallelMachine installed at build
+        # time: in a worker only this processor is live, and its
+        # horizon must be maintained by the ring (which also *raises* it
+        # again) — the inherited machine-wide note would lower it
+        # forever and starve every conservative LP.
+        proc.cancel_note = self._note_cancellation
+        proc.cancel_floor = INFINITY
+
+    def _note_cancellation(self, time: VirtualTime) -> None:
+        """Eager horizon lowering: a cancellation just came into
+        existence on this worker (withheld entry or routed anti).
+
+        The time is also bucketed under the wave period it was minted
+        in; the bucket is dropped once the token ring's two-cut
+        condition proves every envelope of that period was received.
+        """
+        bucket = self._cut_wave + 1
+        current = self._anti_mins.get(bucket)
+        if current is None or time < current:
+            self._anti_mins[bucket] = time
+        proc = self._proc
+        if time < proc.cancel_floor:
+            proc.cancel_floor = time
+
+    def _local_anti_low(self) -> VirtualTime:
+        """Min outstanding-cancellation time this worker knows about:
+        unpruned anti buckets, withheld lazy entries (crash-recovery
+        reconciliation), and negatives owed by the fabric endpoint."""
+        low = INFINITY
+        for value in self._anti_mins.values():
+            if value < low:
+                low = value
+        for runtime in self._proc.runtimes.values():
+            for pending in runtime.lazy_pending:
+                if pending.time < low:
+                    low = pending.time
+        if self.endpoint is not None:
+            for event in self.endpoint.pending_events():
+                if event.sign < 0 and event.time < low:
+                    low = event.time
+        return low
+
+    def _prune_anti_buckets(self, before_wave: int) -> None:
+        for bucket in [b for b in self._anti_mins if b <= before_wave]:
+            del self._anti_mins[bucket]
+
+    def _stall(self, reason: str) -> None:
+        """Diagnose an unrecoverable worker stall: checkpoint (so a
+        post-mortem restore is possible), assemble the forensics report
+        and abort.  The report ships upstream through the error
+        path and surfaces on the raised :class:`ProtocolError`."""
+        self._net.watchdog_stalls += 1
+        if self.recovery:
+            self._take_checkpoint()
+        in_flight = {
+            "sent_to": {dst: n for dst, n in sorted(self._sent_to.items())},
+            "recv_from": {src: n
+                          for src, n in sorted(self._recv_from.items())},
+            "outbox": sum(len(v) for v in self._outbox.values()),
+            "cut_wave": self._cut_wave,
+        }
+        if self.endpoint is not None:
+            in_flight["fabric_pending"] = len(
+                list(self.endpoint.pending_events()))
+        gvt = self._gvt if self._gvt != MINUS_INFINITY else None
+        self._stall_report = build_report(
+            self.backend_name, reason, [self._proc], gvt=gvt,
+            bound=self._watchdog.bound, in_flight=in_flight,
+            origin=self._index)
+        raise ProtocolError("stall diagnosed: " + reason)
+
+    def _worker_loop(self) -> None:
+        deadline = time.monotonic() + self._timeout_s
+        proc = self._proc
+        quantum = self.quantum
+        while self._stop_info is None:
+            progressed = self._drain(0.0)
+            for _ in range(quantum):
+                if self._stop_info is not None:
+                    return
+                if not proc.act():
+                    break
+                progressed = True
+            if progressed:
+                self._progressed = True
+            self._flush()
+            if self._index == 0 and self._completed_token is not None:
+                self._initiate()
+            elif self._held_token is not None:
+                token, self._held_token = self._held_token, None
+                self._visit(token)
+                self._forward(token)
+            if self._stop_info is not None:
+                return
+            if not progressed and self._held_token is None \
+                    and self._completed_token is None:
+                # Idle: block briefly on the inbound channel; a batch,
+                # the token or the stop will wake us.
+                self._drain(0.0008)
+            if self._watchdog.tick(
+                    (self._gvt, proc.stats.events_committed)):
+                self._stall(
+                    f"no GVT advance or commit on worker {self._index} "
+                    f"in {self._watchdog.bound:.1f}s "
+                    f"(gvt {self._gvt}, "
+                    f"{proc.stats.events_executed} executed)")
+            if time.monotonic() > deadline:
+                self._stall(
+                    f"worker {self._index} exceeded the "
+                    f"{self._timeout_s:.1f}s deadline "
+                    f"(gvt {self._gvt}, "
+                    f"{self._proc.stats.events_executed} executed)")
+
+    # ------------------------------------------------------------------
+    # Envelope plumbing
+    # ------------------------------------------------------------------
+    def _post(self, target: int, envelope: tuple) -> None:
+        """Ship one counted envelope (anything but token/stop)."""
+        count = self._sent_to.get(target, 0) + 1
+        self._sent_to[target] = count
+        self._send_envelope(target, ("c", self._index, count, envelope))
+
+    def _post_batch(self, target: int, items: list) -> None:
+        self._post(target, ("batch", self._index, items))
+        self._net.ipc_batches += 1
+        self._net.ipc_events += len(items)
+        wrapped = self.endpoint is not None
+        for item in items:
+            event = item[1] if wrapped else item
+            if event.time < self._send_min:
+                self._send_min = event.time
+
+    def _flush(self) -> bool:
+        """Ship every destination's collected events as one envelope."""
+        sent_any = False
+        endpoint = self.endpoint
+        for target, events in self._outbox.items():
+            if not events:
+                continue
+            self._outbox[target] = []
+            if endpoint is not None:
+                items = endpoint.encode(target, events)
+                if not items:
+                    continue  # every copy dropped or held back
+            else:
+                items = events
+            self._post_batch(target, items)
+            sent_any = True
+        return sent_any
+
+    def _drain(self, block_s: float) -> bool:
+        """Process inbound envelopes; True if any work was delivered."""
+        progressed = False
+        if block_s > 0:
+            envelope = self._recv_envelope(block_s)
+            if envelope is None:
+                return False
+            progressed |= self._dispatch(envelope)
+        for _ in range(512):
+            envelope = self._recv_envelope(0.0)
+            if envelope is None:
+                break
+            progressed |= self._dispatch(envelope)
+        return progressed
+
+    def _dispatch(self, envelope: tuple) -> bool:
+        kind = envelope[0]
+        if kind == "c":
+            _tag, src, count, inner = envelope
+            # Cumulative channel-count stamp: max-update (not +1) so a
+            # transport-level loss cannot freeze the channel's deficit.
+            if count > self._recv_from.get(src, 0):
+                self._recv_from[src] = count
+            return self._dispatch_inner(inner)
+        if kind == "token":
+            token = envelope[1]
+            if self._token_stale(token):
+                self._resend_token(token["wave"])
+                return False
+            if self._index == 0:
+                self._completed_token = token
+            else:
+                self._held_token = token
+            return False
+        if kind == "stop":
+            self._stop_info = envelope[1:]
+            return True
+        raise ProtocolError(f"unknown envelope kind {kind!r}")
+
+    def _dispatch_inner(self, envelope: tuple) -> bool:
+        kind = envelope[0]
+        if kind == "batch":
+            self._on_batch(envelope[1], envelope[2])
+            return True
+        if kind == "acks":
+            self.endpoint.ack(envelope[1], envelope[2])
+            return True
+        if kind == "recover":
+            self._on_recover(envelope[1], envelope[2], envelope[3])
+            return True
+        if kind == "die":
+            self._crash()
+            return True
+        raise ProtocolError(f"unknown envelope kind {kind!r}")
+
+    def _token_stale(self, token: dict) -> bool:
+        wave = token["wave"]
+        if self._index == 0:
+            return wave <= self._last_completed_wave
+        return wave <= self._cut_wave
+
+    def _resend_token(self, stale_wave: int) -> None:
+        """A reconnect re-delivered an already-consumed token: the copy
+        this worker forwarded may have been the one the link lost, so
+        put it back on the ring — at most once per stale wave number, so
+        duplicate deliveries cannot breed token echoes.  The initiator
+        never resends (it regenerates the ring via its own forward; a
+        stale token there is always a duplicate, and dropping it is what
+        terminates a circulating echo)."""
+        if self._index == 0 or self._stop_info is not None:
+            return
+        if self._last_token_out is None:
+            return
+        if stale_wave <= self._max_stale_resent:
+            return
+        self._max_stale_resent = stale_wave
+        self._send_envelope((self._index + 1) % self.processors,
+                            ("token", self._last_token_out))
+
+    def _on_batch(self, src: int, items: list) -> None:
+        endpoint = self.endpoint
+        if endpoint is not None:
+            events = endpoint.decode(src, items)
+            # Flush acks immediately: one ack envelope per batch keeps
+            # sender unacked maps (and the retransmit pump) small.
+            for peer, seqs in endpoint.take_acks().items():
+                self._post(peer, ("acks", self._index, seqs))
+                self._net.ipc_batches += 1
+        else:
+            events = items
+        proc = self._proc
+        for event in events:
+            proc.deliver(event)
+            proc.drain_local()
+
+    # ------------------------------------------------------------------
+    # Token-ring GVT
+    # ------------------------------------------------------------------
+    def _local_low(self) -> VirtualTime:
+        """This worker's cut contribution: local state + sends since
+        the previous cut (the Mattern send-minimum)."""
+        low = self._proc.local_min_time()
+        for event in self._proc.local_fifo:
+            if event.time < low:
+                low = event.time
+        for events in self._outbox.values():
+            for event in events:
+                if event.time < low:
+                    low = event.time
+        if self.endpoint is not None:
+            for event in self.endpoint.pending_events():
+                if event.time < low:
+                    low = event.time
+        if self._send_min < low:
+            low = self._send_min
+        return low
+
+    def _busy(self) -> bool:
+        if self._progressed:
+            return True
+        if self._proc.local_fifo:
+            return True
+        if any(self._outbox.values()):
+            return True
+        if self.endpoint is not None and not self.endpoint.quiet():
+            return True
+        return proc_has_work(self._proc, self.until)
+
+    def _visit(self, token: dict) -> None:
+        """One worker's token visit: apply the piggybacked commit, cut,
+        merge counts, run the retransmit pump."""
+        wave = token["wave"]
+        commit = token.get("commit")
+        if commit is not None:
+            # The commit proves wave-1 was two-cut valid: everything
+            # sent before cut wave-2 was received.  Bucket b holds antis
+            # minted between cuts b-1 and b; the envelope carrying one
+            # may only leave at the end of visit b, i.e. before cut b+1
+            # — so bucket b is provably delivered once b+1 <= wave-2.
+            self._prune_anti_buckets(wave - 3)
+            self._apply_commit(commit)
+        if token.get("settled"):
+            # The previous wave's channel counts matched exactly:
+            # everything sent before cut wave-1 was received, which
+            # covers buckets up to wave-2 (same +1 flush slack).
+            self._prune_anti_buckets(wave - 2)
+        floor = token.get("floor", INFINITY)
+        if floor != INFINITY or self._floor_committed != INFINITY:
+            # The global horizon needs no two-cut validity: every
+            # outstanding cancellation stays in its originator's
+            # bucket/lazy list until delivery is *proven*, so last
+            # wave's anti_low covers everything that existed at the
+            # cuts, and anything minted since is strictly above the
+            # GVT that bounds conservative execution anyway.
+            self._floor_committed = floor
+            self._refresh_cancel_floor()
+        self._cut_wave = wave
+        low = self._local_low()
+        if low < token["low"]:
+            token["low"] = low
+        anti_low = self._local_anti_low()
+        if anti_low < token["anti_low"]:
+            token["anti_low"] = anti_low
+        if self._watchdog.enabled:
+            # watchdog_s=0 disables the liveness layer; skipping the
+            # fold keeps vt_min None so the initiator never samples.
+            for runtime in self._proc.runtimes.values():
+                now = runtime.lp.now
+                if token["vt_min"] is None or now < token["vt_min"]:
+                    token["vt_min"] = now
+                if token["vt_max"] is None or now > token["vt_max"]:
+                    token["vt_max"] = now
+        self._send_min = INFINITY
+        index = self._index
+        for dst, n in self._sent_to.items():
+            token["sent"][(index, dst)] = n
+        for src, n in self._recv_from.items():
+            token["recv"][(src, index)] = n
+        if not token["busy"] and self._busy():
+            token["busy"] = True
+        self._progressed = False
+        if self.endpoint is not None:
+            self.endpoint.wave = token["wave"]
+            for dst, items in self.endpoint.pump(token["wave"]).items():
+                self._post_batch(dst, items)
+        # Commit application may have produced antimessages (lazy flush)
+        # or released blocked LPs whose sends are already queued.
+        self._flush()
+
+    def _forward(self, token: dict) -> None:
+        self._last_token_out = token
+        self._send_envelope((self._index + 1) % self.processors,
+                            ("token", token))
+
+    def _apply_commit(self, gvt: VirtualTime) -> None:
+        if gvt <= self._gvt:
+            return
+        self._gvt = gvt
+        proc = self._proc
+        proc.gvt_bound = gvt
+        proc.stats.gvt_rounds += 1
+        for runtime in proc.runtimes.values():
+            proc.flush_lazy(runtime, gvt)
+        proc.drain_local()
+        proc.fossil_collect(gvt)
+        proc.rearm_blocked()
+        if self.recovery:
+            self._take_checkpoint()
+
+    def _refresh_cancel_floor(self) -> None:
+        """Raise (or lower) the horizon to the freshest sound value:
+        the globally committed floor capped by local knowledge.  Blocked
+        conservative LPs are re-armed — a raised floor may be exactly
+        what they were waiting for."""
+        proc = self._proc
+        floor = self._floor_committed
+        local = self._local_anti_low()
+        if local < floor:
+            floor = local
+        if floor != proc.cancel_floor:
+            proc.cancel_floor = floor
+            proc.rearm_blocked()
+
+    def _initiate(self) -> None:
+        """Initiator: evaluate the completed wave, start the next one."""
+        token, self._completed_token = self._completed_token, None
+        wave = token["wave"]
+        self._last_completed_wave = wave
+        commit: Optional[VirtualTime] = None
+        floor: VirtualTime = INFINITY
+        settled = False
+        if wave >= 0:
+            self._net.token_waves += 1
+            sent, recv = token["sent"], token["recv"]
+            # Two-cut validity: everything sent before the PREVIOUS
+            # wave's cuts has been received before this wave's cuts, so
+            # any message still in flight was sent inside the window the
+            # send-minimums cover.
+            valid = all(recv.get(channel, 0) >= n
+                        for channel, n in self._prev_sent.items())
+            candidate = token["low"]
+            settled = self._counts_settled(sent, recv)
+            if self._revalidate > 0:
+                # A restored initiator (dist kill-recovery) holds a
+                # checkpoint-old _prev_sent baseline, and its first
+                # post-restore wave may ride a self-primed sentinel
+                # token with empty counts: run two waves invalid and
+                # unsettled (always safe — it merely delays commits,
+                # pruning and termination) before trusting the re-based
+                # counts again.
+                valid = False
+                settled = False
+                self._revalidate -= 1
+            if valid and candidate != INFINITY \
+                    and candidate > self._gvt_committed:
+                commit = candidate
+                self._gvt_committed = candidate
+                self._commits += 1
+                while self._crash_schedule and \
+                        self._crash_schedule[0][0] <= self._commits:
+                    _at, victim = self._crash_schedule.pop(0)
+                    self._post(victim, ("die", self._index))
+            if not token["busy"] and commit is None and valid and settled:
+                self._broadcast_stop()
+                return
+            self._prev_sent = dict(sent)
+            # The completed wave's cancellation horizon rides the next
+            # token regardless of commit validity (see _visit for why
+            # it needs no two-cut argument).
+            floor = token["anti_low"]
+            vt_min, vt_max = token["vt_min"], token["vt_max"]
+            if vt_min is not None and vt_max is not None:
+                # Korniss virtual-time surface sample, one per wave.
+                width = int(vt_max[0] - vt_min[0])
+                self._net.vt_spread_samples += 1
+                self._net.vt_spread_width_sum += width
+                if width > self._net.vt_spread_width_max:
+                    self._net.vt_spread_width_max = width
+        fresh = fresh_token(wave + 1, commit, floor=floor,
+                            settled=settled)
+        self._visit(fresh)
+        if self._stop_info is not None:  # pragma: no cover - defensive
+            return
+        self._forward(fresh)
+
+    @staticmethod
+    def _counts_settled(sent: Dict[tuple, int],
+                        recv: Dict[tuple, int]) -> bool:
+        """Every channel's cumulative send/receive counts agree: no
+        envelope is in flight anywhere."""
+        for channel in set(sent) | set(recv):
+            if sent.get(channel, 0) != recv.get(channel, 0):
+                return False
+        return True
+
+    def _broadcast_stop(self) -> None:
+        info = (self._gvt_committed, self._net.token_waves, self._commits)
+        for peer in range(1, self.processors):
+            self._send_envelope(peer, ("stop",) + info)
+        self._stop_info = info
+
+    # ------------------------------------------------------------------
+    # Crash-recovery
+    # ------------------------------------------------------------------
+    def _take_checkpoint(self) -> None:
+        """Durable-by-fiat checkpoint (log-before-send model): the
+        processor image plus the fabric's sequence horizons."""
+        self._ckpt = checkpoint_processor(self._proc)
+        self._ckpt_marks = (self.endpoint.checkpoint_marks()
+                            if self.endpoint is not None else ({}, {}))
+        self._checkpoint_taken()
+
+    def _checkpoint_taken(self) -> None:
+        """Hook: a fresh durable checkpoint exists.  The dist backend
+        uploads it to the coordinator here; in-process backends keep it
+        in memory (durable by fiat)."""
+
+    def _durable_image(self) -> dict:
+        """Everything a *freshly started process* needs to resume this
+        worker's role: the processor checkpoint, the fabric endpoint
+        (journal/unacked/sequence state — the log-before-send log), and
+        the ring bookkeeping that must survive with them."""
+        image = {
+            "ckpt": self._ckpt,
+            "marks": self._ckpt_marks,
+            "endpoint": self.endpoint,
+            "gvt": self._gvt,
+            "cut_wave": self._cut_wave,
+            "sent_to": dict(self._sent_to),
+            "recv_from": dict(self._recv_from),
+            "anti_mins": dict(self._anti_mins),
+            "floor_committed": self._floor_committed,
+            "net": self._net,
+            "crash_schedule": list(self._crash_schedule),
+        }
+        if self._index == 0:
+            image["initiator"] = (
+                dict(self._prev_sent), self._gvt_committed,
+                self._commits, self._last_completed_wave)
+        return image
+
+    def _restore_durable_image(self, image: dict) -> None:
+        """Adopt a durable image in a fresh incarnation (dist kill-
+        recovery).  Must run after :meth:`_setup_worker` and before the
+        :meth:`_crash`-style reconciliation."""
+        self._ckpt = image["ckpt"]
+        self._ckpt_marks = image["marks"]
+        self.endpoint = image["endpoint"]
+        self._gvt = image["gvt"]
+        self._cut_wave = image["cut_wave"]
+        self._sent_to = dict(image["sent_to"])
+        self._recv_from = dict(image["recv_from"])
+        self._anti_mins = dict(image["anti_mins"])
+        self._floor_committed = image["floor_committed"]
+        self._net = image["net"]
+        self._crash_schedule = list(image["crash_schedule"])
+        if self._index == 0 and "initiator" in image:
+            (self._prev_sent, self._gvt_committed,
+             self._commits, self._last_completed_wave) = image["initiator"]
+            self._revalidate = 2
+            # Self-prime the ring: the dead incarnation may have been
+            # holding the token (in which case the ring is empty and
+            # only the initiator can restart it).  If a custody copy is
+            # also re-delivered, one of the two same-wave tokens wins
+            # the race at each peer and the other dies as a stale
+            # duplicate within a lap — the revalidation window above
+            # keeps the sentinel's empty counts from committing or
+            # settling anything.
+            self._completed_token = {
+                "wave": self._last_completed_wave, "low": INFINITY,
+                "sent": {}, "recv": {}, "busy": True, "commit": None,
+                "anti_low": INFINITY, "floor": INFINITY,
+                "settled": False, "vt_min": None, "vt_max": None}
+
+    def _crash(self) -> None:
+        """Lose all volatile state, recover from the durable checkpoint,
+        reconcile with the world.  Mirrors ``ThreadedFabric.crash`` but
+        needs no stop-the-world: the fabric endpoint (journals, unacked
+        maps, sequence counters) is durable, in-flight input is
+        re-created by the peers' journal replay, and stale conservative
+        promises are invalidated by an epoch-bump broadcast.
+        """
+        endpoint = self.endpoint
+        if endpoint is None:  # pragma: no cover - guarded at build time
+            raise ProtocolError("crash injection requires the fabric")
+        if self._ckpt is None:  # pragma: no cover - taken before loop
+            raise ProtocolError(
+                f"no durable checkpoint for worker {self._index}")
+        endpoint.stats.crashes += 1
+        proc = self._proc
+        pre_epochs = {lp_id: runtime.cons_epoch
+                      for lp_id, runtime in proc.runtimes.items()}
+        restore_processor(proc, self._ckpt)
+        proc.gvt_bound = self._gvt
+        for lp_id, runtime in proc.runtimes.items():
+            runtime.cons_epoch = max(pre_epochs.get(lp_id, 0),
+                                     runtime.cons_epoch) + 1
+        # The un-encoded outbox is volatile: nothing in it was ever
+        # journalled or promised, and the restored replay regenerates
+        # (or abandons) each message on its own authority.
+        for target in self._outbox:
+            self._outbox[target] = []
+        # Outgoing reconciliation: the dead incarnation's journalled
+        # post-checkpoint output feeds the lazy-cancellation machinery —
+        # regenerated messages are reused in place, abandoned ones are
+        # cancelled, and journalled antimessages suppress one re-send.
+        sender_marks, recv_floors = self._ckpt_marks
+        live_sender, _live_recv = endpoint.checkpoint_marks()
+        for dst in live_sender:
+            base = sender_marks.get(dst, 0)
+            window = endpoint.sender_window(dst, base)
+            # Eid ratchet: every windowed send is world-visible, but a
+            # checkpoint restored into a fresh process (dist) rewinds
+            # each LP's eid counter to its checkpoint mark.  Re-minting
+            # a windowed seq would pair a *different* message with an
+            # already-journalled eid — and the eventual antimessage
+            # would annihilate the wrong one.  (In-process crashes keep
+            # the live counters, which are already past the window:
+            # the max() is a no-op there.)
+            for event in window:
+                if event.eid is None:
+                    continue
+                minter = proc.runtimes.get(event.eid.src)
+                if minter is not None and \
+                        event.eid.seq > minter.lp._seq:
+                    minter.lp._seq = event.eid.seq
+            anti_eids = {e.eid for e in window if e.sign < 0}
+            if anti_eids:
+                endpoint.mark_spent_anti(dst, anti_eids)
+            for event in window:
+                if (event.sign > 0 and not event.is_null
+                        and event.eid not in anti_eids):
+                    runtime = proc.runtimes.get(event.src)
+                    if runtime is None:
+                        continue
+                    if runtime.mode is SyncMode.CONSERVATIVE:
+                        # A conservative LP never rolls back, so the
+                        # restored replay re-executes the same committed
+                        # inputs and deterministically regenerates this
+                        # send: the entry exists only to suppress the
+                        # duplicate, it can never become an antimessage.
+                        # It therefore must NOT go through lazy_pending:
+                        # pinning the cancellation horizon at its own
+                        # timestamp would block the very conservative
+                        # execution whose re-send it is waiting to
+                        # match, and with GVT already at that timestamp
+                        # no flush ever breaks the tie (the conservative
+                        # crash-recovery self-deadlock).
+                        runtime.reuse_pending.append(event)
+                        continue
+                    runtime.lazy_pending.append(event)
+                    # Each injected entry is an outstanding
+                    # cancellation: lower the horizon so no
+                    # conservative LP commits at its timestamp
+                    # before the squash-or-cancel decision lands.
+                    self._note_cancellation(event.time)
+        endpoint.rewind_receiver(recv_floors)
+        endpoint.stats.recoveries += 1
+        # Tell every peer: bump your replica epochs (stale conservative
+        # promises from the dead incarnation must not be trusted) and
+        # replay your journal from my checkpoint's delivery horizon.
+        epochs = {lp_id: runtime.cons_epoch
+                  for lp_id, runtime in proc.runtimes.items()}
+        for peer in range(self.processors):
+            if peer == self._index:
+                continue
+            self._post(peer, ("recover", self._index, epochs,
+                              recv_floors.get(peer, 0)))
+        # Re-checkpoint immediately: the durable image must reflect the
+        # post-recovery epochs (a second failure restoring the *pre*-
+        # crash image could otherwise reuse an epoch peers have already
+        # seen and trust a stale conservative promise).
+        self._take_checkpoint()
+
+    def _restore_incarnation(self, image: dict, tail: list,
+                             recv_marks: Optional[Dict[int, int]] = None,
+                             ) -> None:
+        """Fresh-process kill-recovery (dist): adopt the durable image,
+        splice the coordinator-retained sent-tail back into the fabric
+        journal, then run the standard crash reconciliation.
+
+        ``tail`` is the coordinator's FIFO of ``(dst, envelope)`` pairs
+        it relayed *from* this worker after the image was uploaded: the
+        sends the dead incarnation made that the image's journal does
+        not know about, but the world has seen.  Splicing them back in
+        lets :meth:`_crash` reconcile them (cancel-or-reuse) exactly
+        like any other post-checkpoint output; their count stamps
+        restore ``_sent_to`` to the world-visible values so the ring's
+        channel counts stay monotone on the sender side.
+
+        ``recv_marks`` is the receive-side mirror: per-source counted-
+        envelope high-water marks the coordinator observed while
+        relaying *to* this worker.  The image's ``recv_from`` is frozen
+        at checkpoint time, but the dead incarnation kept receiving —
+        and pure-ack envelopes carry no journalled events, so peers can
+        never replay them.  Without the marks the channel's cumulative
+        recv count regresses permanently below the peer's sent count
+        and the GVT ring's ``settled`` test never holds again.  The
+        counts are termination bookkeeping only; the *content*
+        obligations heal separately (batches via journal replay, acks
+        via re-ack-on-duplicate).
+        """
+        self._restore_durable_image(image)
+        for src, n in (recv_marks or {}).items():
+            if n > self._recv_from.get(src, 0):
+                self._recv_from[src] = n
+        endpoint = self.endpoint
+        for dst, envelope in tail:
+            if envelope[0] != "c":  # pragma: no cover - relay is counted
+                continue
+            _tag, _src, count, inner = envelope
+            if count > self._sent_to.get(dst, 0):
+                self._sent_to[dst] = count
+            if inner[0] == "batch" and endpoint is not None:
+                link = endpoint._out_link(dst)
+                for seq, event in inner[2]:
+                    link.journal[seq] = event
+                    link.unacked[seq] = (event, endpoint.wave)
+                    if seq >= link.next_seq:
+                        link.next_seq = seq + 1
+        self._crash()
+
+    def _on_recover(self, victim: int, epochs: Dict[int, int],
+                    floor: int) -> None:
+        """Peer side of a crash: epoch bump + journal replay."""
+        for lp_id, epoch in epochs.items():
+            runtime = self._runtimes.get(lp_id)
+            if runtime is not None and runtime.cons_epoch < epoch:
+                runtime.cons_epoch = epoch
+        items = self.endpoint.replay_for(victim, floor)
+        if items:
+            self._post_batch(victim, items)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _report_done(self) -> None:
+        proc = self._proc
+        for runtime in proc.runtimes.values():
+            proc._commit_log(runtime)
+        self._net.watchdog_probes += self._watchdog.probes
+        stats = RunStats()
+        stats.merge(proc.stats)
+        if self.endpoint is not None:
+            stats.merge(self.endpoint.stats)
+        stats.merge(self._net)
+        lp_states = {
+            lp_id: (runtime.lp.now,
+                    {attr: getattr(runtime.lp, attr)
+                     for attr in runtime.lp.state_attrs})
+            for lp_id, runtime in proc.runtimes.items()}
+        gvt, waves, commits = self._stop_info
+        self._emit_result(
+            ("done", self._index, stats, lp_states, gvt, waves, commits))

@@ -109,6 +109,7 @@ class LPRuntime:
         "executed", "squashed", "window_executed", "window_squashed",
         "blocked_streak", "since_switch", "last_null_promise", "committed",
         "release_floor", "since_snapshot", "lazy_pending",
+        "reuse_pending",
     )
 
     def __init__(self, lp: LogicalProcess, mode: SyncMode,
@@ -158,6 +159,17 @@ class LPRuntime:
         #: dead incarnation are injected here so the restored replay
         #: reuses what it regenerates and cancels what it abandons.
         self.lazy_pending: List[Event] = []
+        #: Guaranteed-reuse injections (crash recovery, conservative
+        #: LPs only).  A conservative LP never rolls back, so its
+        #: restored replay deterministically regenerates every windowed
+        #: send — these entries exist purely to suppress the duplicate
+        #: re-send and can never legitimately become antimessages.
+        #: Unlike ``lazy_pending`` they therefore do NOT pin the
+        #: cancellation horizon or hold GVT down; pinning the horizon at
+        #: an entry's own timestamp would block the very conservative
+        #: execution whose re-send the entry is waiting to match (the
+        #: conservative crash-recovery self-deadlock).
+        self.reuse_pending: List[Event] = []
 
     # ------------------------------------------------------------------
     # Queue plumbing
@@ -723,8 +735,9 @@ class Processor:
         runtime.blocked_streak = 0
         # lazy_pending is non-empty under lazy cancellation OR after a
         # crash-recovery injected the dead incarnation's journaled sends
-        # for reuse-matching; both want the same filter.
-        if runtime.lazy_pending:
+        # for reuse-matching; reuse_pending holds the guaranteed-reuse
+        # (conservative) flavour of the latter.  All want the same filter.
+        if runtime.lazy_pending or runtime.reuse_pending:
             to_route, sent_record = self._lazy_filter(runtime, out)
         else:
             to_route = sent_record = out
@@ -741,7 +754,7 @@ class Processor:
                                    eid=(event.eid.src, event.eid.seq))
         for message in to_route:
             self.route(message)
-        if runtime.lazy_pending:
+        if runtime.lazy_pending or runtime.reuse_pending:
             self._lazy_cancel_passed(runtime)
         if self.use_lookahead and runtime.mode is SyncMode.CONSERVATIVE:
             self._send_nulls(runtime)
@@ -764,12 +777,15 @@ class Processor:
         sent_record: List[Event] = []
         for message in out:
             match = None
-            for i, pending in enumerate(runtime.lazy_pending):
-                if (pending.dst == message.dst
-                        and pending.time == message.time
-                        and pending.kind == message.kind
-                        and pending.payload == message.payload):
-                    match = runtime.lazy_pending.pop(i)
+            for pool in (runtime.lazy_pending, runtime.reuse_pending):
+                for i, pending in enumerate(pool):
+                    if (pending.dst == message.dst
+                            and pending.time == message.time
+                            and pending.kind == message.kind
+                            and pending.payload == message.payload):
+                        match = pool.pop(i)
+                        break
+                if match is not None:
                     break
             if match is not None:
                 sent_record.append(match)
@@ -802,6 +818,35 @@ class Processor:
             else:
                 keep.append(pending)
         runtime.lazy_pending = keep
+        self._sweep_reuse(runtime, now, "reuse-diverged")
+
+    def _sweep_reuse(self, runtime: LPRuntime, bound: VirtualTime,
+                     ctx: str) -> None:
+        """Defensive sweep of guaranteed-reuse (conservative crash)
+        entries the replay provably skipped.
+
+        Unreachable while the conservative replay is deterministic — a
+        send below the LP's clock is always regenerated and matched
+        first.  If the trajectory somehow diverged, cancel the orphaned
+        original loudly rather than leave a phantom at the receiver.
+        """
+        if not runtime.reuse_pending:
+            return
+        keep: List[Event] = []
+        for pending in runtime.reuse_pending:
+            if pending.send_time < bound:
+                self.stats.antimessages += 1
+                if self.tracer is not None:
+                    self.tracer.record("anti", self.index,
+                                       runtime.lp.lp_id, pending.time,
+                                       dst=pending.dst,
+                                       eid=(pending.eid.src,
+                                            pending.eid.seq),
+                                       ctx=ctx)
+                self.route(pending.antimessage())
+            else:
+                keep.append(pending)
+        runtime.reuse_pending = keep
 
     def flush_lazy(self, runtime: LPRuntime, bound: VirtualTime) -> None:
         """Cancel withheld messages below ``bound`` (GVT flush).
@@ -809,6 +854,7 @@ class Processor:
         Once GVT passes a withheld message's send time, the LP can never
         execute at or below it again, so regeneration is impossible.
         """
+        self._sweep_reuse(runtime, bound, "reuse-flush")
         if not runtime.lazy_pending:
             return
         keep: List[Event] = []

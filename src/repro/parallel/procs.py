@@ -8,6 +8,13 @@ communicate **only** through pickled messages — and is where the
 paper's headline claim (speedup from parallel execution) becomes
 measurable on real hardware (``benchmarks/bench_procs_speedup.py``).
 
+The worker protocol itself — act quantum, batched flushes, the
+pipelined Mattern token-ring GVT, fabric compatibility, crash
+recovery — lives in :class:`repro.parallel.backend.WorkerCore`, shared
+verbatim with the distributed backend (:mod:`repro.parallel.dist`).
+This module supplies the ``multiprocessing`` transport (one queue per
+worker, one result queue) and the parent-side lifecycle.
+
 Three design decisions carry the backend:
 
 * **Batched IPC.**  Serialization is the dominant cost of process
@@ -63,10 +70,10 @@ machine parameters — and deterministically rebuilds its own machine
 locally: same model, same partition spec, same placement, same seeded
 queues as every sibling.  This is the artifact discipline of
 :mod:`repro.vhdl.artifact` applied at the worker boundary, and it is
-what a future multi-host backend ships over the wire.  The method is
-chosen by the ``start_method`` parameter, then the
-``REPRO_PROCS_START`` environment variable, then ``fork`` when the
-platform offers it, else ``spawn``.
+what the dist backend ships over the wire.  The method is chosen by
+the ``start_method`` parameter, then the ``REPRO_PROCS_START``
+environment variable, then ``fork`` when the platform offers it, else
+``spawn``.
 """
 
 from __future__ import annotations
@@ -77,21 +84,16 @@ import pickle
 import queue as queue_module
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Union
 
-from ..core.event import Event
 from ..core.model import Model
 from ..core.stats import RunStats
-from ..core.vtime import INFINITY, MINUS_INFINITY, VirtualTime
-from ..fabric.batched import BatchedEndpoint
+from ..core.vtime import MINUS_INFINITY
 from ..fabric.plan import FaultPlan
-from ..fabric.recovery import checkpoint_processor, restore_processor
-from ..resilience import (DEFAULT_WALL_S, WallClockWatchdog, build_report,
-                          resolve_watchdog)
-from .backend import (BackendOutcome, proc_has_work, resolve_model,
-                      stamp_epoch)
+from ..resilience import DEFAULT_WALL_S, resolve_watchdog
+from .backend import BackendOutcome, WorkerCore, resolve_model
 from .cost import SHARED_MEMORY
-from .engine import Processor, ProtocolError
+from .engine import ProtocolError
 from .machine import ParallelMachine
 from .partition import Partition
 
@@ -182,25 +184,10 @@ def _spawn_worker(spec: _WorkerSpec, index: int, queues: list,
     machine._worker_main(index)
 
 
-def _fresh_token(wave: int, commit: Optional[VirtualTime],
-                 floor: VirtualTime = INFINITY,
-                 settled: bool = False) -> dict:
-    return {"wave": wave, "low": INFINITY, "sent": {}, "recv": {},
-            "busy": False, "commit": commit,
-            # Liveness additions (PR 6): "anti_low" accumulates each
-            # worker's min outstanding-cancellation time at its cut;
-            # "floor" carries the committed global cancellation horizon
-            # alongside the GVT commit; "settled" tells workers the
-            # previous wave's channel counts matched exactly (nothing in
-            # flight), letting them prune their anti buckets one wave
-            # earlier; "vt_min"/"vt_max" accumulate the per-LP clock
-            # surface for the Korniss roughness signal.
-            "anti_low": INFINITY, "floor": floor, "settled": settled,
-            "vt_min": None, "vt_max": None}
-
-
-class ProcsMachine:
+class ProcsMachine(WorkerCore):
     """Run a Model on real worker processes; commits identical results."""
+
+    backend_name = "procs"
 
     def __init__(self, model: Model, processors: int,
                  protocol: str = "optimistic",
@@ -393,599 +380,26 @@ class ProcsMachine:
                             wall_time_s=wall_time_s)
 
     # ==================================================================
-    # Worker side (everything below runs in a forked child)
+    # Worker side: the shared WorkerCore over multiprocessing queues
     # ==================================================================
     def _worker_main(self, index: int) -> None:
-        self._index = index
-        self._proc: Processor = self._inner.procs[index]
-        self._runtimes = self._inner._runtimes
-        self._placement = self._inner.placement
-        self._net = RunStats()        # transport counters (crash-durable)
-        self._outbox: Dict[int, List[Event]] = {
-            i: [] for i in range(self.processors) if i != index}
-        self._sent_to: Dict[int, int] = {}
-        self._recv_from: Dict[int, int] = {}
-        self._send_min: VirtualTime = INFINITY
-        self._progressed = False
-        self._gvt: VirtualTime = MINUS_INFINITY
-        self._held_token: Optional[dict] = None
-        self._completed_token: Optional[dict] = None
-        self._stop_info: Optional[tuple] = None
-        self._ckpt = None
-        self._ckpt_marks: Tuple[Dict[int, int], Dict[int, int]] = ({}, {})
-        # Cancellation-horizon bookkeeping (see docs/protocol.md):
-        # antimessages this worker routed, bucketed by the token wave
-        # period they were sent in; buckets are pruned once the ring's
-        # two-cut argument proves delivery.  ``_floor_committed`` is the
-        # last global horizon that rode in with a GVT commit.
-        self._anti_mins: Dict[int, VirtualTime] = {}
-        self._cut_wave = -1
-        self._floor_committed: VirtualTime = INFINITY
-        self._watchdog = WallClockWatchdog(self.watchdog_bound)
-        self._stall_report = None
-        self.endpoint: Optional[BatchedEndpoint] = (
-            BatchedEndpoint(self.plan, index) if self.use_fabric else None)
-        if index == 0:
-            # Initiator state: a sentinel "completed wave -1" primes the
-            # ring (busy, nothing sent, nothing committable).
-            self._completed_token = {"wave": -1, "low": INFINITY,
-                                     "sent": {}, "recv": {},
-                                     "busy": True, "commit": None}
-            self._prev_sent: Dict[tuple, int] = {}
-            self._gvt_committed: VirtualTime = MINUS_INFINITY
-            self._commits = 0
-        try:
-            self._install_route()
-            if self.recovery:
-                self._take_checkpoint()
-            self._worker_loop()
-            self._report_done()
-        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
-            partial = RunStats()
-            try:
-                self._net.watchdog_probes += self._watchdog.probes
-                partial.merge(self._proc.stats)
-                if self.endpoint is not None:
-                    partial.merge(self.endpoint.stats)
-                partial.merge(self._net)
-            except Exception:  # pragma: no cover - diagnostics only
-                pass
-            try:
-                self._result_queue.put(
-                    ("error", index, f"{type(exc).__name__}: {exc}",
-                     partial, self._stall_report))
-            except Exception:  # pragma: no cover - queue already broken
-                pass
+        self._run_worker(index, self._inner.procs[index],
+                         self._inner._runtimes, self._inner.placement)
 
-    def _install_route(self) -> None:
-        proc = self._proc
-        runtimes = self._runtimes
-        placement = self._placement
-        outbox = self._outbox
-        index = self._index
-
-        def route(event: Event) -> None:
-            event = stamp_epoch(runtimes, event)
-            target = placement[event.dst]
-            if target == index:
-                proc.local_fifo.append(event)
-            else:
-                outbox[target].append(event)
-
-        proc.route = route
-        # Override the hook the inner ParallelMachine installed at build
-        # time: in a forked worker only this processor is live, and its
-        # horizon must be maintained by the ring (which also *raises* it
-        # again) — the inherited machine-wide note would lower it
-        # forever and starve every conservative LP.
-        proc.cancel_note = self._note_cancellation
-        proc.cancel_floor = INFINITY
-
-    def _note_cancellation(self, time: VirtualTime) -> None:
-        """Eager horizon lowering: a cancellation just came into
-        existence on this worker (withheld entry or routed anti).
-
-        The time is also bucketed under the wave period it was minted
-        in; the bucket is dropped once the token ring's two-cut
-        condition proves every envelope of that period was received.
-        """
-        bucket = self._cut_wave + 1
-        current = self._anti_mins.get(bucket)
-        if current is None or time < current:
-            self._anti_mins[bucket] = time
-        proc = self._proc
-        if time < proc.cancel_floor:
-            proc.cancel_floor = time
-
-    def _local_anti_low(self) -> VirtualTime:
-        """Min outstanding-cancellation time this worker knows about:
-        unpruned anti buckets, withheld lazy entries (crash-recovery
-        reconciliation), and negatives owed by the fabric endpoint."""
-        low = INFINITY
-        for value in self._anti_mins.values():
-            if value < low:
-                low = value
-        for runtime in self._proc.runtimes.values():
-            for pending in runtime.lazy_pending:
-                if pending.time < low:
-                    low = pending.time
-        if self.endpoint is not None:
-            for event in self.endpoint.pending_events():
-                if event.sign < 0 and event.time < low:
-                    low = event.time
-        return low
-
-    def _prune_anti_buckets(self, before_wave: int) -> None:
-        for bucket in [b for b in self._anti_mins if b <= before_wave]:
-            del self._anti_mins[bucket]
-
-    def _stall(self, reason: str) -> None:
-        """Diagnose an unrecoverable worker stall: checkpoint (so a
-        post-mortem restore is possible), assemble the forensics report
-        and abort.  The report ships to the parent through the error
-        pipe and surfaces on the raised :class:`ProtocolError`."""
-        self._net.watchdog_stalls += 1
-        if self.recovery:
-            self._take_checkpoint()
-        in_flight = {
-            "sent_to": {dst: n for dst, n in sorted(self._sent_to.items())},
-            "recv_from": {src: n
-                          for src, n in sorted(self._recv_from.items())},
-            "outbox": sum(len(v) for v in self._outbox.values()),
-            "cut_wave": self._cut_wave,
-        }
-        if self.endpoint is not None:
-            in_flight["fabric_pending"] = len(
-                list(self.endpoint.pending_events()))
-        gvt = self._gvt if self._gvt != MINUS_INFINITY else None
-        self._stall_report = build_report(
-            "procs", reason, [self._proc], gvt=gvt,
-            bound=self._watchdog.bound, in_flight=in_flight,
-            origin=self._index)
-        raise ProtocolError("stall diagnosed: " + reason)
-
-    def _worker_loop(self) -> None:
-        deadline = time.monotonic() + self._timeout_s
-        proc = self._proc
-        quantum = self.quantum
-        while self._stop_info is None:
-            progressed = self._drain(0.0)
-            for _ in range(quantum):
-                if self._stop_info is not None:
-                    return
-                if not proc.act():
-                    break
-                progressed = True
-            if progressed:
-                self._progressed = True
-            self._flush()
-            if self._index == 0 and self._completed_token is not None:
-                self._initiate()
-            elif self._held_token is not None:
-                token, self._held_token = self._held_token, None
-                self._visit(token)
-                self._forward(token)
-            if self._stop_info is not None:
-                return
-            if not progressed and self._held_token is None \
-                    and self._completed_token is None:
-                # Idle: block briefly on the inbound queue; a batch, the
-                # token or the stop will wake us.
-                self._drain(0.0008)
-            if self._watchdog.tick(
-                    (self._gvt, proc.stats.events_committed)):
-                self._stall(
-                    f"no GVT advance or commit on worker {self._index} "
-                    f"in {self._watchdog.bound:.1f}s "
-                    f"(gvt {self._gvt}, "
-                    f"{proc.stats.events_executed} executed)")
-            if time.monotonic() > deadline:
-                self._stall(
-                    f"worker {self._index} exceeded the "
-                    f"{self._timeout_s:.1f}s deadline "
-                    f"(gvt {self._gvt}, "
-                    f"{self._proc.stats.events_executed} executed)")
-
-    # ------------------------------------------------------------------
-    # Envelope plumbing
-    # ------------------------------------------------------------------
-    def _post(self, target: int, envelope: tuple) -> None:
-        """Ship one counted envelope (anything but token/stop)."""
+    def _send_envelope(self, target: int, envelope: tuple) -> None:
         self._queues[target].put(envelope)
-        self._sent_to[target] = self._sent_to.get(target, 0) + 1
 
-    def _post_batch(self, target: int, items: list) -> None:
-        self._post(target, ("batch", self._index, items))
-        self._net.ipc_batches += 1
-        self._net.ipc_events += len(items)
-        wrapped = self.endpoint is not None
-        for item in items:
-            event = item[1] if wrapped else item
-            if event.time < self._send_min:
-                self._send_min = event.time
-
-    def _flush(self) -> bool:
-        """Ship every destination's collected events as one envelope."""
-        sent_any = False
-        endpoint = self.endpoint
-        for target, events in self._outbox.items():
-            if not events:
-                continue
-            self._outbox[target] = []
-            if endpoint is not None:
-                items = endpoint.encode(target, events)
-                if not items:
-                    continue  # every copy dropped or held back
-            else:
-                items = events
-            self._post_batch(target, items)
-            sent_any = True
-        return sent_any
-
-    def _drain(self, block_s: float) -> bool:
-        """Process inbound envelopes; True if any work was delivered."""
+    def _recv_envelope(self, block_s: float):
         inbound = self._queues[self._index]
-        progressed = False
-        if block_s > 0:
-            try:
-                envelope = inbound.get(timeout=block_s)
-            except queue_module.Empty:
-                return False
-            progressed |= self._dispatch(envelope)
-        for _ in range(512):
-            try:
-                envelope = inbound.get_nowait()
-            except queue_module.Empty:
-                break
-            progressed |= self._dispatch(envelope)
-        return progressed
+        try:
+            if block_s > 0:
+                return inbound.get(timeout=block_s)
+            return inbound.get_nowait()
+        except queue_module.Empty:
+            return None
 
-    def _dispatch(self, envelope: tuple) -> bool:
-        kind = envelope[0]
-        if kind == "batch":
-            self._on_batch(envelope[1], envelope[2])
-            return True
-        if kind == "acks":
-            src = envelope[1]
-            self._recv_from[src] = self._recv_from.get(src, 0) + 1
-            self.endpoint.ack(src, envelope[2])
-            return True
-        if kind == "token":
-            if self._index == 0:
-                self._completed_token = envelope[1]
-            else:
-                self._held_token = envelope[1]
-            return False
-        if kind == "recover":
-            self._on_recover(envelope[1], envelope[2], envelope[3])
-            return True
-        if kind == "die":
-            src = envelope[1]
-            self._recv_from[src] = self._recv_from.get(src, 0) + 1
-            self._crash()
-            return True
-        if kind == "stop":
-            self._stop_info = envelope[1:]
-            return True
-        raise ProtocolError(f"unknown envelope kind {kind!r}")
-
-    def _on_batch(self, src: int, items: list) -> None:
-        self._recv_from[src] = self._recv_from.get(src, 0) + 1
-        endpoint = self.endpoint
-        if endpoint is not None:
-            events = endpoint.decode(src, items)
-            # Flush acks immediately: one ack envelope per batch keeps
-            # sender unacked maps (and the retransmit pump) small.
-            for peer, seqs in endpoint.take_acks().items():
-                self._post(peer, ("acks", self._index, seqs))
-                self._net.ipc_batches += 1
-        else:
-            events = items
-        proc = self._proc
-        for event in events:
-            proc.deliver(event)
-            proc.drain_local()
-
-    # ------------------------------------------------------------------
-    # Token-ring GVT
-    # ------------------------------------------------------------------
-    def _local_low(self) -> VirtualTime:
-        """This worker's cut contribution: local state + sends since
-        the previous cut (the Mattern send-minimum)."""
-        low = self._proc.local_min_time()
-        for event in self._proc.local_fifo:
-            if event.time < low:
-                low = event.time
-        for events in self._outbox.values():
-            for event in events:
-                if event.time < low:
-                    low = event.time
-        if self.endpoint is not None:
-            for event in self.endpoint.pending_events():
-                if event.time < low:
-                    low = event.time
-        if self._send_min < low:
-            low = self._send_min
-        return low
-
-    def _busy(self) -> bool:
-        if self._progressed:
-            return True
-        if self._proc.local_fifo:
-            return True
-        if any(self._outbox.values()):
-            return True
-        if self.endpoint is not None and not self.endpoint.quiet():
-            return True
-        return proc_has_work(self._proc, self.until)
-
-    def _visit(self, token: dict) -> None:
-        """One worker's token visit: apply the piggybacked commit, cut,
-        merge counts, run the retransmit pump."""
-        wave = token["wave"]
-        commit = token.get("commit")
-        if commit is not None:
-            # The commit proves wave-1 was two-cut valid: everything
-            # sent before cut wave-2 was received.  Bucket b holds antis
-            # minted between cuts b-1 and b; the envelope carrying one
-            # may only leave at the end of visit b, i.e. before cut b+1
-            # — so bucket b is provably delivered once b+1 <= wave-2.
-            self._prune_anti_buckets(wave - 3)
-            self._apply_commit(commit)
-        if token.get("settled"):
-            # The previous wave's channel counts matched exactly:
-            # everything sent before cut wave-1 was received, which
-            # covers buckets up to wave-2 (same +1 flush slack).
-            self._prune_anti_buckets(wave - 2)
-        floor = token.get("floor", INFINITY)
-        if floor != INFINITY or self._floor_committed != INFINITY:
-            # The global horizon needs no two-cut validity: every
-            # outstanding cancellation stays in its originator's
-            # bucket/lazy list until delivery is *proven*, so last
-            # wave's anti_low covers everything that existed at the
-            # cuts, and anything minted since is strictly above the
-            # GVT that bounds conservative execution anyway.
-            self._floor_committed = floor
-            self._refresh_cancel_floor()
-        self._cut_wave = wave
-        low = self._local_low()
-        if low < token["low"]:
-            token["low"] = low
-        anti_low = self._local_anti_low()
-        if anti_low < token["anti_low"]:
-            token["anti_low"] = anti_low
-        if self._watchdog.enabled:
-            # watchdog_s=0 disables the liveness layer; skipping the
-            # fold keeps vt_min None so the initiator never samples.
-            for runtime in self._proc.runtimes.values():
-                now = runtime.lp.now
-                if token["vt_min"] is None or now < token["vt_min"]:
-                    token["vt_min"] = now
-                if token["vt_max"] is None or now > token["vt_max"]:
-                    token["vt_max"] = now
-        self._send_min = INFINITY
-        index = self._index
-        for dst, n in self._sent_to.items():
-            token["sent"][(index, dst)] = n
-        for src, n in self._recv_from.items():
-            token["recv"][(src, index)] = n
-        if not token["busy"] and self._busy():
-            token["busy"] = True
-        self._progressed = False
-        if self.endpoint is not None:
-            self.endpoint.wave = token["wave"]
-            for dst, items in self.endpoint.pump(token["wave"]).items():
-                self._post_batch(dst, items)
-        # Commit application may have produced antimessages (lazy flush)
-        # or released blocked LPs whose sends are already queued.
-        self._flush()
-
-    def _forward(self, token: dict) -> None:
-        self._queues[(self._index + 1) % self.processors].put(
-            ("token", token))
-
-    def _apply_commit(self, gvt: VirtualTime) -> None:
-        if gvt <= self._gvt:
-            return
-        self._gvt = gvt
-        proc = self._proc
-        proc.gvt_bound = gvt
-        proc.stats.gvt_rounds += 1
-        for runtime in proc.runtimes.values():
-            proc.flush_lazy(runtime, gvt)
-        proc.drain_local()
-        proc.fossil_collect(gvt)
-        proc.rearm_blocked()
-        if self.recovery:
-            self._take_checkpoint()
-
-    def _refresh_cancel_floor(self) -> None:
-        """Raise (or lower) the horizon to the freshest sound value:
-        the globally committed floor capped by local knowledge.  Blocked
-        conservative LPs are re-armed — a raised floor may be exactly
-        what they were waiting for."""
-        proc = self._proc
-        floor = self._floor_committed
-        local = self._local_anti_low()
-        if local < floor:
-            floor = local
-        if floor != proc.cancel_floor:
-            proc.cancel_floor = floor
-            proc.rearm_blocked()
-
-    def _initiate(self) -> None:
-        """Initiator: evaluate the completed wave, start the next one."""
-        token, self._completed_token = self._completed_token, None
-        wave = token["wave"]
-        commit: Optional[VirtualTime] = None
-        floor: VirtualTime = INFINITY
-        settled = False
-        if wave >= 0:
-            self._net.token_waves += 1
-            sent, recv = token["sent"], token["recv"]
-            # Two-cut validity: everything sent before the PREVIOUS
-            # wave's cuts has been received before this wave's cuts, so
-            # any message still in flight was sent inside the window the
-            # send-minimums cover.
-            valid = all(recv.get(channel, 0) >= n
-                        for channel, n in self._prev_sent.items())
-            candidate = token["low"]
-            settled = self._counts_settled(sent, recv)
-            if valid and candidate != INFINITY \
-                    and candidate > self._gvt_committed:
-                commit = candidate
-                self._gvt_committed = candidate
-                self._commits += 1
-                while self._crash_schedule and \
-                        self._crash_schedule[0][0] <= self._commits:
-                    _at, victim = self._crash_schedule.pop(0)
-                    self._post(victim, ("die", self._index))
-            if not token["busy"] and commit is None and settled:
-                self._broadcast_stop()
-                return
-            self._prev_sent = dict(sent)
-            # The completed wave's cancellation horizon rides the next
-            # token regardless of commit validity (see _visit for why
-            # it needs no two-cut argument).
-            floor = token["anti_low"]
-            vt_min, vt_max = token["vt_min"], token["vt_max"]
-            if vt_min is not None and vt_max is not None:
-                # Korniss virtual-time surface sample, one per wave.
-                width = int(vt_max[0] - vt_min[0])
-                self._net.vt_spread_samples += 1
-                self._net.vt_spread_width_sum += width
-                if width > self._net.vt_spread_width_max:
-                    self._net.vt_spread_width_max = width
-        fresh = _fresh_token(wave + 1, commit, floor=floor,
-                             settled=settled)
-        self._visit(fresh)
-        if self._stop_info is not None:  # pragma: no cover - defensive
-            return
-        self._forward(fresh)
-
-    @staticmethod
-    def _counts_settled(sent: Dict[tuple, int],
-                        recv: Dict[tuple, int]) -> bool:
-        """Every channel's cumulative send/receive counts agree: no
-        envelope is in flight anywhere."""
-        for channel in set(sent) | set(recv):
-            if sent.get(channel, 0) != recv.get(channel, 0):
-                return False
-        return True
-
-    def _broadcast_stop(self) -> None:
-        info = (self._gvt_committed, self._net.token_waves, self._commits)
-        for peer in range(1, self.processors):
-            self._queues[peer].put(("stop",) + info)
-        self._stop_info = info
-
-    # ------------------------------------------------------------------
-    # Crash-recovery
-    # ------------------------------------------------------------------
-    def _take_checkpoint(self) -> None:
-        """Durable-by-fiat checkpoint (log-before-send model): the
-        processor image plus the fabric's sequence horizons."""
-        self._ckpt = checkpoint_processor(self._proc)
-        self._ckpt_marks = (self.endpoint.checkpoint_marks()
-                            if self.endpoint is not None else ({}, {}))
-
-    def _crash(self) -> None:
-        """Lose all volatile state, recover from the durable checkpoint,
-        reconcile with the world.  Mirrors ``ThreadedFabric.crash`` but
-        needs no stop-the-world: the fabric endpoint (journals, unacked
-        maps, sequence counters) is durable, in-flight input is
-        re-created by the peers' journal replay, and stale conservative
-        promises are invalidated by an epoch-bump broadcast.
-        """
-        endpoint = self.endpoint
-        if endpoint is None:  # pragma: no cover - guarded at build time
-            raise ProtocolError("crash injection requires the fabric")
-        if self._ckpt is None:  # pragma: no cover - taken before loop
-            raise ProtocolError(
-                f"no durable checkpoint for worker {self._index}")
-        endpoint.stats.crashes += 1
-        proc = self._proc
-        pre_epochs = {lp_id: runtime.cons_epoch
-                      for lp_id, runtime in proc.runtimes.items()}
-        restore_processor(proc, self._ckpt)
-        proc.gvt_bound = self._gvt
-        for lp_id, runtime in proc.runtimes.items():
-            runtime.cons_epoch = max(pre_epochs.get(lp_id, 0),
-                                     runtime.cons_epoch) + 1
-        # The un-encoded outbox is volatile: nothing in it was ever
-        # journalled or promised, and the restored replay regenerates
-        # (or abandons) each message on its own authority.
-        for target in self._outbox:
-            self._outbox[target] = []
-        # Outgoing reconciliation: the dead incarnation's journalled
-        # post-checkpoint output feeds the lazy-cancellation machinery —
-        # regenerated messages are reused in place, abandoned ones are
-        # cancelled, and journalled antimessages suppress one re-send.
-        sender_marks, recv_floors = self._ckpt_marks
-        live_sender, _live_recv = endpoint.checkpoint_marks()
-        for dst in live_sender:
-            base = sender_marks.get(dst, 0)
-            window = endpoint.sender_window(dst, base)
-            anti_eids = {e.eid for e in window if e.sign < 0}
-            if anti_eids:
-                endpoint.mark_spent_anti(dst, anti_eids)
-            for event in window:
-                if (event.sign > 0 and not event.is_null
-                        and event.eid not in anti_eids):
-                    runtime = proc.runtimes.get(event.src)
-                    if runtime is not None:
-                        runtime.lazy_pending.append(event)
-                        # Each injected entry is an outstanding
-                        # cancellation: lower the horizon so no
-                        # conservative LP commits at its timestamp
-                        # before the squash-or-cancel decision lands.
-                        self._note_cancellation(event.time)
-        endpoint.rewind_receiver(recv_floors)
-        endpoint.stats.recoveries += 1
-        # Tell every peer: bump your replica epochs (stale conservative
-        # promises from the dead incarnation must not be trusted) and
-        # replay your journal from my checkpoint's delivery horizon.
-        epochs = {lp_id: runtime.cons_epoch
-                  for lp_id, runtime in proc.runtimes.items()}
-        for peer in range(self.processors):
-            if peer == self._index:
-                continue
-            self._post(peer, ("recover", self._index, epochs,
-                              recv_floors.get(peer, 0)))
-
-    def _on_recover(self, victim: int, epochs: Dict[int, int],
-                    floor: int) -> None:
-        """Peer side of a crash: epoch bump + journal replay."""
-        self._recv_from[victim] = self._recv_from.get(victim, 0) + 1
-        for lp_id, epoch in epochs.items():
-            runtime = self._runtimes.get(lp_id)
-            if runtime is not None and runtime.cons_epoch < epoch:
-                runtime.cons_epoch = epoch
-        items = self.endpoint.replay_for(victim, floor)
-        if items:
-            self._post_batch(victim, items)
-
-    # ------------------------------------------------------------------
-    # Completion
-    # ------------------------------------------------------------------
-    def _report_done(self) -> None:
-        proc = self._proc
-        for runtime in proc.runtimes.values():
-            proc._commit_log(runtime)
-        self._net.watchdog_probes += self._watchdog.probes
-        stats = RunStats()
-        stats.merge(proc.stats)
-        if self.endpoint is not None:
-            stats.merge(self.endpoint.stats)
-        stats.merge(self._net)
-        lp_states = {
-            lp_id: (runtime.lp.now,
-                    {attr: getattr(runtime.lp, attr)
-                     for attr in runtime.lp.state_attrs})
-            for lp_id, runtime in proc.runtimes.items()}
-        gvt, waves, commits = self._stop_info
-        self._result_queue.put(
-            ("done", self._index, stats, lp_states, gvt, waves, commits))
+    def _emit_result(self, message: tuple) -> None:
+        self._result_queue.put(message)
 
 
 def run_procs(model: Model, processors: int,

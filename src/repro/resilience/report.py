@@ -128,6 +128,7 @@ def build_report(backend: str, reason: str, processors: Iterable[Any],
             now = runtime.lp.now
             report.lp_clocks[lp_id] = (now[0], now[1])
             withheld += len(runtime.lazy_pending)
+            withheld += len(runtime.reuse_pending)
             for eid, negative in runtime.negatives.items():
                 report.parked_negatives.append({
                     "proc": proc.index,

@@ -39,7 +39,7 @@ class RunSpec:
     """One parameterized run of a job's design."""
 
     label: str = ""
-    backend: str = "seq"  # "seq" | "model" | "threads" | "procs"
+    backend: str = "seq"  # "seq"|"model"|"threads"|"procs"|"dist"
     protocol: str = "optimistic"
     processors: int = 1
     until: Optional[int] = None

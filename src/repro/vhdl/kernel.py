@@ -125,7 +125,7 @@ def simulate(design, until: Optional[int] = None,
 
 
 #: Parallel execution backends selectable by :func:`simulate_parallel`.
-BACKENDS = ("model", "threads", "procs")
+BACKENDS = ("model", "threads", "procs", "dist")
 
 
 def simulate_parallel(design, processors: int,
@@ -154,7 +154,10 @@ def simulate_parallel(design, processors: int,
     * ``"threads"`` — real concurrency on OS threads (shared memory);
     * ``"procs"``   — real parallelism on ``multiprocessing`` workers
       with batched IPC and token-ring GVT; the only backend that can
-      show wall-clock speedup under CPython's GIL.
+      show wall-clock speedup under CPython's GIL;
+    * ``"dist"``    — the same worker loop on standalone processes
+      over asyncio/TCP (same host or remote via ``hosts=[...]``); the
+      distributed tier of the paper's title.
 
     All backends commit identical results; they differ in how they
     synchronize and in which cost figure (modelled makespan vs. wall
@@ -186,6 +189,11 @@ def simulate_parallel(design, processors: int,
         from ..parallel.threads import run_threaded
         outcome = run_threaded(model, processors=processors, until=until,
                                protocol=protocol, **machine_kwargs)
+        return _collect(design, outcome.stats, processors=processors)
+    if backend == "dist":
+        from ..parallel.dist import run_dist
+        outcome = run_dist(model, processors=processors, until=until,
+                           protocol=protocol, **machine_kwargs)
         return _collect(design, outcome.stats, processors=processors)
     from ..parallel.procs import run_procs
     outcome = run_procs(model, processors=processors, until=until,

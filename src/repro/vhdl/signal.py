@@ -285,6 +285,19 @@ class SignalLP(LogicalProcess):
         self.effective = effective
         del self.history[history_len:]
 
+    def durable_state(self) -> Any:
+        # The cheap snapshot keeps only the history *length* (truncate-
+        # on-restore works because rollback restores into the same live
+        # list).  A cross-process restore starts from an empty list, so
+        # the durable image must carry the entries themselves.
+        return (self.snapshot(), self._seq, list(self.history))
+
+    def restore_durable(self, state: Any) -> None:
+        snap, seq, history = state
+        self.history = list(history)
+        self.restore(snap)  # snapshot length == len(history): keeps all
+        self._seq = max(self._seq, seq)
+
     def trace(self) -> List[Tuple[VirtualTime, Any]]:
         """The committed effective-value change history (when traced)."""
         return list(self.history)

@@ -15,9 +15,9 @@ import pytest
 from hypothesis import given
 
 from repro.campaign import (ALL_AXES, BACKEND_PROTOCOLS, Campaign,
-                            Corpus, FailureSignature, Scenario,
-                            ScenarioSpace, classify, normalize_violation,
-                            run_scenario)
+                            Corpus, FailureSignature, OPT_IN_BACKENDS,
+                            Scenario, ScenarioSpace, classify,
+                            normalize_violation, run_scenario)
 from repro.campaign.axes import _freeze_params
 from repro.campaign.triage import primary_kind, violation_kind
 from repro.harness import Schedule, Scheduler, replay_schedule
@@ -55,13 +55,24 @@ class TestScenarioSpace:
     def test_exec_axis_covers_the_interp_compiled_grid(self):
         # With the exec axis on (the default), every backend x protocol
         # cell is emitted once per execution mode before any sampling.
+        # Opt-in backends (dist) stay out unless explicitly selected.
         space = ScenarioSpace(seed=3)
         head = take(space.generate(), len(space.cells()))
         grid = {(s.backend, s.protocol, s.exec_mode) for s in head}
         for backend in BACKEND_PROTOCOLS:
             for protocol in BACKEND_PROTOCOLS[backend]:
                 for mode in ("interp", "compiled"):
-                    assert (backend, protocol, mode) in grid
+                    expected = backend not in OPT_IN_BACKENDS
+                    assert ((backend, protocol, mode) in grid) \
+                        is expected
+
+    def test_opt_in_backend_cells_appear_when_selected(self):
+        space = ScenarioSpace(seed=3, backends=["dist"])
+        head = take(space.generate(), len(space.cells()))
+        grid = {(s.backend, s.protocol, s.exec_mode) for s in head}
+        for protocol in BACKEND_PROTOCOLS["dist"]:
+            for mode in ("interp", "compiled"):
+                assert ("dist", protocol, mode) in grid
 
     def test_exec_axis_off_keeps_the_interp_grid(self):
         space = ScenarioSpace(seed=3, axes=("topology", "schedules"))

@@ -27,6 +27,12 @@ _MAX_FOLDED = ("peak_speculative", "vt_spread_width_max")
 _ADDITIVE = [f.name for f in dataclasses.fields(RunStats)
              if f.type == "int" and f.name not in _MAX_FOLDED]
 
+#: Float fields escape the ``f.type == "int"`` net above, so the dist
+#: backend's RTT accumulators are pinned explicitly: the sum is
+#: additive, the max is max-folded.
+_FLOAT_ADDITIVE = ("net_rtt_sum",)
+_FLOAT_MAX_FOLDED = ("net_rtt_max",)
+
 
 def _random_stats(rng: random.Random) -> RunStats:
     stats = RunStats()
@@ -34,6 +40,12 @@ def _random_stats(rng: random.Random) -> RunStats:
         setattr(stats, name, rng.randrange(0, 50))
     for name in _MAX_FOLDED:
         setattr(stats, name, rng.randrange(0, 100))
+    # Dyadic rationals: exactly representable, so float addition is
+    # associative here and the order-independence property stays exact.
+    for name in _FLOAT_ADDITIVE:
+        setattr(stats, name, rng.randrange(0, 200) / 4.0)
+    for name in _FLOAT_MAX_FOLDED:
+        setattr(stats, name, rng.randrange(0, 200) / 4.0)
     stats.final_time = VirtualTime(rng.randrange(0, 1000),
                                    rng.randrange(0, 5))
     stats.events_per_lp = {lp: rng.randrange(1, 20)
@@ -114,6 +126,12 @@ class TestMergeAlgebra:
         for name in _MAX_FOLDED:
             assert getattr(merged, name) \
                 == max(getattr(w, name) for w in workers), name
+        for name in _FLOAT_ADDITIVE:
+            assert getattr(merged, name) \
+                == sum(getattr(w, name) for w in workers), name
+        for name in _FLOAT_MAX_FOLDED:
+            assert getattr(merged, name) \
+                == max(getattr(w, name) for w in workers), name
         assert merged.final_time == max(w.final_time for w in workers)
         totals = {}
         for worker in workers:
@@ -158,6 +176,28 @@ class TestMergeAlgebra:
         assert "watchdog_probes" in _ADDITIVE
         assert "watchdog_stalls" in _ADDITIVE
         assert "vt_spread_width_max" not in _ADDITIVE
+        # Network counters (dist backend): byte/reconnect/sample totals
+        # are additive ints; the RTT accumulators are floats and pinned
+        # via the explicit _FLOAT_* lists instead.
+        assert "net_bytes_tx" in _ADDITIVE
+        assert "net_bytes_rx" in _ADDITIVE
+        assert "net_reconnects" in _ADDITIVE
+        assert "net_rtt_samples" in _ADDITIVE
+        assert "net_rtt_sum" not in _ADDITIVE
+        assert "net_rtt_max" not in _ADDITIVE
+
+    def test_net_summary(self):
+        stats = RunStats(net_bytes_tx=2048, net_bytes_rx=4096,
+                         net_reconnects=2, net_rtt_samples=4,
+                         net_rtt_sum=0.020, net_rtt_max=0.008)
+        text = stats.net_summary()
+        assert "tx=2048B" in text
+        assert "rx=4096B" in text
+        assert "reconnects=2" in text
+        assert "rtt_mean=5.00ms" in text
+        assert "rtt_max=8.00ms" in text
+        # No samples: the mean degrades gracefully, not a ZeroDivision.
+        assert "rtt_mean=0.00ms" in RunStats().net_summary()
 
     def test_liveness_summary(self):
         stats = RunStats(vt_spread_samples=4, vt_spread_width_sum=200,
